@@ -1,0 +1,95 @@
+/// Ablation: probe-lifted lower bounds vs plain interval bounds.
+///
+/// Optionally the orderers evaluate one representative concrete member (a
+/// "probe") per abstract plan and use its exact utility as the pruning
+/// lower bound — sound under the paper's dominance definition, which only
+/// needs one concrete plan of p to beat all of q. Measured result: with the
+/// measures' tightened upper bounds in place (e.g. coverage's best-member
+/// bound), best-first refinement reaches a strong concrete plan quickly and
+/// its exact point utility prunes as well as a probe would, so probes only
+/// add an extra evaluation per abstract plan (counts roughly double with
+/// probes on). They are therefore OFF by default; this bench documents the
+/// tradeoff and the general sensitivity of abstraction effectiveness to
+/// bound quality — the phenomenon behind the paper's Figure 6.j-l, where
+/// wide ratio intervals made abstraction lose to brute force.
+
+#include "bench_util.h"
+
+namespace planorder::bench {
+namespace {
+
+EpisodeResult RunAblated(Algo algo, utility::MeasureKind measure,
+                         const stats::Workload& workload, int k,
+                         bool probes) {
+  auto model = utility::MakeMeasure(measure, &workload);
+  PLANORDER_CHECK(model.ok()) << model.status();
+  std::vector<core::PlanSpace> spaces = {core::PlanSpace::FullSpace(workload)};
+  std::unique_ptr<core::Orderer> orderer;
+  if (algo == Algo::kStreamer) {
+    auto o = core::StreamerOrderer::Create(
+        &workload, model->get(), std::move(spaces),
+        core::AbstractionHeuristic::kByCardinality, probes);
+    PLANORDER_CHECK(o.ok()) << o.status();
+    orderer = std::move(*o);
+  } else {
+    auto o = core::IDripsOrderer::Create(
+        &workload, model->get(), std::move(spaces),
+        core::AbstractionHeuristic::kByCardinality, probes);
+    PLANORDER_CHECK(o.ok()) << o.status();
+    orderer = std::move(*o);
+  }
+  EpisodeResult result;
+  for (int i = 0; i < k; ++i) {
+    auto next = orderer->Next();
+    if (!next.ok()) break;
+    ++result.plans_emitted;
+  }
+  result.evaluations = orderer->plan_evaluations();
+  return result;
+}
+
+void RegisterAll() {
+  for (utility::MeasureKind measure :
+       {utility::MeasureKind::kCoverage, utility::MeasureKind::kMonetary}) {
+    for (Algo algo : {Algo::kStreamer, Algo::kIDrips}) {
+      for (bool probes : {true, false}) {
+        for (int k : {1, 10}) {
+          stats::WorkloadOptions options;
+          options.query_length = 3;
+          options.bucket_size = 12;
+          options.regions_per_bucket = 16;
+          options.overlap_rate = 0.3;
+          options.seed = 2015;
+          std::string name = std::string("probe-ablation/") +
+                             utility::MeasureKindName(measure) + "/" +
+                             AlgoName(algo) + "/probes:" +
+                             (probes ? "on" : "off") +
+                             "/k:" + std::to_string(k);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [measure, algo, probes, options, k](benchmark::State& state) {
+                const stats::Workload& workload = CachedWorkload(options);
+                EpisodeResult last;
+                for (auto _ : state) {
+                  last = RunAblated(algo, measure, workload, k, probes);
+                }
+                state.counters["evals"] = double(last.evaluations);
+              })
+              ->Unit(benchmark::kMillisecond)
+              ->MinTime(0.02);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace planorder::bench
+
+int main(int argc, char** argv) {
+  planorder::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Dependent joins against sources with binding patterns — the execution
+// strategy cost measure (2) models. Builds a materialized synthetic domain,
+// orders its plans by modeled cost, executes each by feeding bindings into
+// the sources left to right, and prints modeled vs measured cost side by
+// side: the ordering the ranker produces is the ordering you actually want
+// to execute in.
+//
+// Build & run:  cmake --build build && ./build/examples/access_patterns
+
+#include <cstdio>
+
+#include "core/pi.h"
+#include "exec/dependent_join.h"
+#include "exec/source_access.h"
+#include "exec/synthetic_domain.h"
+#include "reformulation/rewriting.h"
+#include "utility/cost_models.h"
+
+namespace {
+
+using namespace planorder;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  stats::WorkloadOptions options;
+  options.query_length = 3;
+  options.bucket_size = 4;
+  options.overlap_rate = 0.4;
+  options.regions_per_bucket = 8;
+  options.seed = 11;
+  auto domain = exec::BuildSyntheticDomain(options, /*num_answers=*/800);
+  if (!domain.ok()) return Fail(domain.status());
+  const exec::SyntheticDomain& d = **domain;
+
+  // Materialize every source behind a binding-pattern interface.
+  exec::SourceRegistry registry;
+  for (datalog::SourceId id = 0; id < d.catalog.num_sources(); ++id) {
+    const std::string& name = d.catalog.source(id).name;
+    auto source = registry.Register(name, 2);
+    if (!source.ok()) return Fail(source.status());
+    for (const auto& tuple : d.source_facts.TuplesFor(name)) {
+      if (Status s = (*source)->Add(tuple); !s.ok()) return Fail(s);
+    }
+  }
+
+  auto model = utility::BoundJoinCostModel::Create(&d.workload,
+                                                   utility::BoundJoinOptions{});
+  if (!model.ok()) return Fail(model.status());
+  auto orderer = core::PiOrderer::Create(
+      &d.workload, model->get(), {core::PlanSpace::FullSpace(d.workload)});
+  if (!orderer.ok()) return Fail(orderer.status());
+
+  std::printf("query: %s\n", d.query.ToString().c_str());
+  std::printf("%4s  %12s  %12s  %7s  %8s  %s\n", "rank", "modeled-cost",
+              "measured", "calls", "shipped", "answers");
+  const double h = d.workload.access_overhead();
+  for (int rank = 1; rank <= 12; ++rank) {
+    auto next = (*orderer)->Next();
+    if (!next.ok()) break;
+    std::vector<datalog::SourceId> choice(next->plan.size());
+    std::vector<double> alphas(next->plan.size());
+    for (size_t b = 0; b < next->plan.size(); ++b) {
+      choice[b] = d.source_ids[b][next->plan[b]];
+      alphas[b] =
+          d.workload.source(static_cast<int>(b), next->plan[b]).transmission_cost;
+    }
+    auto plan = reformulation::BuildSoundPlan(d.query, d.catalog, choice);
+    if (!plan.ok()) return Fail(plan.status());
+    if (!plan->has_value()) {
+      (*orderer)->ReportDiscarded();
+      continue;
+    }
+    registry.ResetStats();
+    exec::ExecutionTrace trace;
+    auto answers =
+        exec::ExecutePlanDependent((*plan)->rewriting, registry, &trace);
+    if (!answers.ok()) return Fail(answers.status());
+    std::printf("%4d  %12.1f  %12.1f  %7lld  %8lld  %zu\n", rank,
+                -next->utility, trace.ModeledCost(h, alphas),
+                static_cast<long long>(trace.TotalCalls()),
+                static_cast<long long>(trace.TotalTuplesShipped()),
+                answers->size());
+  }
+  std::printf(
+      "\nmodeled cost is the ranker's estimate (measure (2)); measured cost "
+      "prices the actual source calls (h=%g per call) and shipped tuples "
+      "(alpha each) of the dependent-join execution.\n",
+      h);
+  return 0;
+}

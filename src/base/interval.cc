@@ -1,0 +1,67 @@
+#include "base/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace planorder {
+
+Interval::Interval(double lo, double hi) : lo_(lo), hi_(hi) {
+  PLANORDER_CHECK_LE(lo, hi) << "invalid interval [" << lo << ", " << hi << "]";
+}
+
+Interval Interval::Hull(const Interval& a, const Interval& b) {
+  return Interval(std::min(a.lo_, b.lo_), std::max(a.hi_, b.hi_));
+}
+
+Interval& Interval::operator+=(const Interval& other) {
+  lo_ += other.lo_;
+  hi_ += other.hi_;
+  return *this;
+}
+
+Interval& Interval::operator-=(const Interval& other) {
+  lo_ -= other.hi_;
+  hi_ -= other.lo_;
+  return *this;
+}
+
+Interval& Interval::operator*=(const Interval& other) {
+  const double products[4] = {lo_ * other.lo_, lo_ * other.hi_,
+                              hi_ * other.lo_, hi_ * other.hi_};
+  lo_ = *std::min_element(products, products + 4);
+  hi_ = *std::max_element(products, products + 4);
+  return *this;
+}
+
+Interval& Interval::operator/=(const Interval& other) {
+  PLANORDER_CHECK(!other.Contains(0.0))
+      << "interval division by " << other.ToString() << " containing zero";
+  return *this *= Interval(1.0 / other.hi_, 1.0 / other.lo_);
+}
+
+std::string Interval::ToString() const {
+  std::ostringstream os;
+  os << "[" << lo_ << ", " << hi_ << "]";
+  return os.str();
+}
+
+Interval operator+(Interval a, const Interval& b) { return a += b; }
+Interval operator-(Interval a, const Interval& b) { return a -= b; }
+Interval operator*(Interval a, const Interval& b) { return a *= b; }
+Interval operator/(Interval a, const Interval& b) { return a /= b; }
+
+Interval Max(const Interval& a, const Interval& b) {
+  return Interval(std::max(a.lo(), b.lo()), std::max(a.hi(), b.hi()));
+}
+
+Interval Min(const Interval& a, const Interval& b) {
+  return Interval(std::min(a.lo(), b.lo()), std::min(a.hi(), b.hi()));
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval) {
+  return os << interval.ToString();
+}
+
+}  // namespace planorder

@@ -1,0 +1,94 @@
+#ifndef PLANORDER_BASE_INTERVAL_H_
+#define PLANORDER_BASE_INTERVAL_H_
+
+#include <ostream>
+#include <string>
+
+namespace planorder {
+
+/// A closed real interval [lo, hi].
+///
+/// Abstract query plans carry their utility as an interval guaranteed to
+/// contain the utility of every concrete plan they represent (Section 5.1 of
+/// the paper); evaluating an abstract plan therefore runs the same formulas
+/// as a concrete plan but in interval arithmetic. All operations here return
+/// enclosures: the result contains f(x, y) for every x, y in the operands.
+class Interval {
+ public:
+  /// The degenerate interval [0, 0].
+  Interval() : lo_(0.0), hi_(0.0) {}
+
+  /// The interval [lo, hi]. Requires lo <= hi (checked).
+  Interval(double lo, double hi);
+
+  /// The degenerate (point) interval [x, x].
+  static Interval Point(double x) { return Interval(x, x); }
+
+  /// The smallest interval containing both operands (interval hull).
+  static Interval Hull(const Interval& a, const Interval& b);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double width() const { return hi_ - lo_; }
+  double midpoint() const { return 0.5 * (lo_ + hi_); }
+
+  /// True when the interval is a single point.
+  bool is_point() const { return lo_ == hi_; }
+
+  bool Contains(double x) const { return lo_ <= x && x <= hi_; }
+  bool Contains(const Interval& other) const {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+  bool Intersects(const Interval& other) const {
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  /// True when every value of this interval is >= every value of `other`,
+  /// i.e. lo() >= other.hi(). This is the plan-domination test of Drips: a
+  /// plan with utility interval `a` dominates one with interval `b` when
+  /// a.DominatesOrEquals(b).
+  bool DominatesOrEquals(const Interval& other) const {
+    return lo_ >= other.hi_;
+  }
+
+  /// Strict variant: lo() > other.hi().
+  bool StrictlyDominates(const Interval& other) const {
+    return lo_ > other.hi_;
+  }
+
+  Interval operator-() const { return Interval(-hi_, -lo_); }
+
+  Interval& operator+=(const Interval& other);
+  Interval& operator-=(const Interval& other);
+  Interval& operator*=(const Interval& other);
+
+  /// Enclosure of {x / y : x in this, y in other}. Requires `other` to not
+  /// contain zero (checked); utility formulas in this library only divide by
+  /// strictly positive tuple counts.
+  Interval& operator/=(const Interval& other);
+
+  std::string ToString() const;
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+Interval operator+(Interval a, const Interval& b);
+Interval operator-(Interval a, const Interval& b);
+Interval operator*(Interval a, const Interval& b);
+Interval operator/(Interval a, const Interval& b);
+
+/// Elementwise max/min enclosures: {max(x,y)} and {min(x,y)}.
+Interval Max(const Interval& a, const Interval& b);
+Interval Min(const Interval& a, const Interval& b);
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval);
+
+}  // namespace planorder
+
+#endif  // PLANORDER_BASE_INTERVAL_H_

@@ -1,0 +1,64 @@
+#ifndef PLANORDER_BASE_LOGGING_H_
+#define PLANORDER_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace planorder {
+namespace internal_logging {
+
+/// Accumulates a fatal-check message and aborts the process when destroyed.
+/// Used only via the PLANORDER_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace planorder
+
+/// Aborts with a diagnostic when `condition` is false. Used for internal
+/// invariants that indicate a programming error, never for user input
+/// (user-facing failures return Status).
+#define PLANORDER_CHECK(condition)                                         \
+  if (!(condition))                                                        \
+  ::planorder::internal_logging::CheckFailureStream(#condition, __FILE__, \
+                                                    __LINE__)
+
+#define PLANORDER_CHECK_EQ(a, b) PLANORDER_CHECK((a) == (b))
+#define PLANORDER_CHECK_NE(a, b) PLANORDER_CHECK((a) != (b))
+#define PLANORDER_CHECK_LT(a, b) PLANORDER_CHECK((a) < (b))
+#define PLANORDER_CHECK_LE(a, b) PLANORDER_CHECK((a) <= (b))
+#define PLANORDER_CHECK_GT(a, b) PLANORDER_CHECK((a) > (b))
+#define PLANORDER_CHECK_GE(a, b) PLANORDER_CHECK((a) >= (b))
+
+/// Debug-only variant; compiles to nothing in NDEBUG builds.
+#ifdef NDEBUG
+#define PLANORDER_DCHECK(condition) \
+  if (false) PLANORDER_CHECK(condition)
+#else
+#define PLANORDER_DCHECK(condition) PLANORDER_CHECK(condition)
+#endif
+
+#endif  // PLANORDER_BASE_LOGGING_H_

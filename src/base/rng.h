@@ -1,0 +1,59 @@
+#ifndef PLANORDER_BASE_RNG_H_
+#define PLANORDER_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace planorder {
+
+/// Deterministic pseudo-random number generator used by the synthetic
+/// workload and data generators. A thin wrapper over std::mt19937_64 so that
+/// every experiment is reproducible from a single seed recorded in its
+/// output.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Zipf-like skewed integer in [1, n]: rank r has weight r^-theta. Used to
+  /// give source cardinalities the heavy-tailed spread large integration
+  /// domains exhibit (a few huge national sources, many small ones).
+  int64_t Zipf(int64_t n, double theta);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+inline int64_t Rng::Zipf(int64_t n, double theta) {
+  // Inverse-CDF by linear scan; n is small (bucket sizes) in this library.
+  double total = 0.0;
+  for (int64_t r = 1; r <= n; ++r) total += 1.0 / std::pow(double(r), theta);
+  double target = UniformReal(0.0, total);
+  double acc = 0.0;
+  for (int64_t r = 1; r <= n; ++r) {
+    acc += 1.0 / std::pow(double(r), theta);
+    if (acc >= target) return r;
+  }
+  return n;
+}
+
+}  // namespace planorder
+
+#endif  // PLANORDER_BASE_RNG_H_

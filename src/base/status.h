@@ -1,0 +1,154 @@
+#ifndef PLANORDER_BASE_STATUS_H_
+#define PLANORDER_BASE_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace planorder {
+
+/// Canonical error space for the library. The project does not use C++
+/// exceptions; fallible operations return Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value type describing the outcome of an operation: either OK, or an error
+/// code with a message. Modeled after absl::Status but self-contained.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code with a
+  /// non-empty message is normalized to a plain OK status.
+  Status(StatusCode code, std::string message)
+      : code_(code),
+        message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Convenience factories mirroring the canonical error space.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+/// Union of a Status and a value: holds T when ok, an error Status otherwise.
+template <typename T>
+class StatusOr {
+ public:
+  /// An error StatusOr. Passing an OK status is an API misuse and is
+  /// converted to an internal error.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInternal,
+                       "StatusOr constructed from OK status without a value");
+    }
+  }
+
+  /// A StatusOr holding a value.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); violated preconditions abort (see CHECK in
+  /// logging.h for rationale).
+  const T& value() const& {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfNotOk() const {
+    if (!status_.ok()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace planorder
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define PLANORDER_RETURN_IF_ERROR(expr)            \
+  do {                                             \
+    ::planorder::Status _status = (expr);          \
+    if (!_status.ok()) return _status;             \
+  } while (false)
+
+/// Evaluates `expr` (a StatusOr expression); on error returns the status,
+/// otherwise moves the value into `lhs`.
+#define PLANORDER_ASSIGN_OR_RETURN(lhs, expr)                 \
+  PLANORDER_ASSIGN_OR_RETURN_IMPL_(                           \
+      PLANORDER_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+
+#define PLANORDER_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                     \
+  if (!var.ok()) return var.status();                    \
+  lhs = std::move(var).value()
+
+#define PLANORDER_STATUS_CONCAT_(a, b) PLANORDER_STATUS_CONCAT_IMPL_(a, b)
+#define PLANORDER_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // PLANORDER_BASE_STATUS_H_

@@ -1,0 +1,92 @@
+#ifndef PLANORDER_CORE_ABSTRACTION_H_
+#define PLANORDER_CORE_ABSTRACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan_space.h"
+#include "stats/source_stats.h"
+#include "stats/workload.h"
+
+namespace planorder::core {
+
+/// How sources within a bucket are ordered before being grouped into a
+/// balanced binary abstraction tree. Grouping similar sources keeps the
+/// utility intervals of abstract plans tight, which is what lets Drips-style
+/// pruning eliminate whole groups (Section 3, "Source Similarity").
+enum class AbstractionHeuristic {
+  /// Group sources with similar expected output cardinality — the heuristic
+  /// the paper's experiments use (Section 6).
+  kByCardinality,
+  /// Group sources with similar coverage region sets (ablation).
+  kByMaskSimilarity,
+  /// Random grouping (ablation floor).
+  kRandom,
+};
+
+/// Per-bucket binary abstraction trees over one plan space. Node 0..n-1 are
+/// shared across buckets in one arena; each leaf is a concrete source of the
+/// space, each inner node the abstraction of its two children with hulled
+/// statistics (StatSummary::Merge).
+class AbstractionForest {
+ public:
+  /// Builds trees for every bucket of `space`. `seed` only matters for
+  /// kRandom.
+  static AbstractionForest Build(const stats::Workload& workload,
+                                 const PlanSpace& space,
+                                 AbstractionHeuristic heuristic,
+                                 uint64_t seed = 0);
+
+  int num_buckets() const { return static_cast<int>(roots_.size()); }
+
+  /// Root node id of bucket b's tree.
+  int root(int bucket) const { return roots_[bucket]; }
+
+  const stats::StatSummary& summary(int node) const {
+    return nodes_[node].summary;
+  }
+  bool is_leaf(int node) const { return nodes_[node].left < 0; }
+  int left(int node) const { return nodes_[node].left; }
+  int right(int node) const { return nodes_[node].right; }
+
+  /// For a leaf: its concrete source index within the workload bucket.
+  int leaf_source(int node) const { return nodes_[node].summary.members[0]; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    stats::StatSummary summary;
+    int left = -1;
+    int right = -1;
+  };
+
+  int BuildRange(const stats::Workload& workload, int bucket,
+                 const std::vector<int>& ordered, int lo, int hi);
+
+  std::vector<Node> nodes_;
+  std::vector<int> roots_;
+};
+
+/// An abstract plan: one abstraction-tree node per bucket of one forest. The
+/// plan represents the Cartesian product of its nodes' member sets; it is
+/// concrete when every node is a leaf.
+struct AbstractPlan {
+  const AbstractionForest* forest = nullptr;
+  std::vector<int> nodes;
+
+  bool IsConcrete() const;
+
+  /// The concrete plan, valid only when IsConcrete().
+  ConcretePlan ToConcrete() const;
+
+  /// Summaries of the nodes, bucket order, for UtilityModel::Evaluate.
+  std::vector<const stats::StatSummary*> Summaries() const;
+
+  /// Number of concrete plans represented.
+  uint64_t NumConcretePlans() const;
+};
+
+}  // namespace planorder::core
+
+#endif  // PLANORDER_CORE_ABSTRACTION_H_

@@ -1,0 +1,117 @@
+#include "core/drips.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "core/evaluate.h"
+
+namespace planorder::core {
+namespace {
+
+struct Candidate {
+  AbstractPlan plan;
+  Interval utility;
+  bool concrete = false;
+  bool alive = true;
+};
+
+/// Picks the bucket to refine: the non-leaf node with the most members, so
+/// refinement halves the largest remaining group.
+int PickRefinementBucket(const AbstractPlan& plan) {
+  int best = -1;
+  size_t best_members = 0;
+  for (size_t b = 0; b < plan.nodes.size(); ++b) {
+    if (plan.forest->is_leaf(plan.nodes[b])) continue;
+    const size_t members = plan.forest->summary(plan.nodes[b]).members.size();
+    if (members > best_members) {
+      best_members = members;
+      best = static_cast<int>(b);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+StatusOr<DripsResult> RunDrips(const std::vector<AbstractPlan>& starts,
+                               utility::UtilityModel& model,
+                               const utility::ExecutionContext& ctx,
+                               int64_t* evaluations,
+                               bool probe_lower_bounds) {
+  if (starts.empty()) return NotFoundError("no plans to order");
+  std::vector<Candidate> candidates;
+  candidates.reserve(starts.size() + 64);
+  auto add_candidate = [&](AbstractPlan plan) {
+    Candidate c;
+    c.utility =
+        EvaluateWithProbe(plan, model, ctx, evaluations, probe_lower_bounds)
+            .utility;
+    c.concrete = plan.IsConcrete();
+    c.plan = std::move(plan);
+    candidates.push_back(std::move(c));
+    return candidates.size() - 1;
+  };
+
+  // Domination is static within one run (utilities don't change), so each
+  // candidate is compared against the rest exactly once, when it enters.
+  auto eliminate_against_all = [&](size_t fresh) {
+    for (size_t i = 0; i < candidates.size() && candidates[fresh].alive; ++i) {
+      if (i == fresh || !candidates[i].alive) continue;
+      const Interval& a = candidates[i].utility;
+      const Interval& b = candidates[fresh].utility;
+      if (a.DominatesOrEquals(b)) {
+        // Mutual (point-tied) domination keeps the earlier candidate.
+        candidates[fresh].alive = false;
+      } else if (b.DominatesOrEquals(a)) {
+        candidates[i].alive = false;
+      }
+    }
+  };
+
+  for (const AbstractPlan& start : starts) {
+    eliminate_against_all(add_candidate(start));
+  }
+
+  while (true) {
+    Candidate* best_abstract = nullptr;
+    Candidate* best_concrete = nullptr;
+    for (Candidate& c : candidates) {
+      if (!c.alive) continue;
+      if (c.concrete) {
+        if (best_concrete == nullptr ||
+            c.utility.lo() > best_concrete->utility.lo()) {
+          best_concrete = &c;
+        }
+      } else if (best_abstract == nullptr ||
+                 c.utility.hi() > best_abstract->utility.hi() ||
+                 (c.utility.hi() == best_abstract->utility.hi() &&
+                  c.utility.width() > best_abstract->utility.width())) {
+        best_abstract = &c;
+      }
+    }
+    if (best_abstract == nullptr) {
+      PLANORDER_CHECK(best_concrete != nullptr);
+      DripsResult result;
+      result.winner = best_concrete->plan;
+      result.plan = best_concrete->plan.ToConcrete();
+      result.utility = best_concrete->utility.lo();
+      return result;
+    }
+
+    // Refinement: replace the most promising abstract plan by the two plans
+    // splitting its largest abstract source.
+    const int bucket = PickRefinementBucket(best_abstract->plan);
+    PLANORDER_CHECK_GE(bucket, 0);
+    const AbstractionForest& forest = *best_abstract->plan.forest;
+    const int node = best_abstract->plan.nodes[bucket];
+    AbstractPlan left = best_abstract->plan;
+    left.nodes[bucket] = forest.left(node);
+    AbstractPlan right = best_abstract->plan;
+    right.nodes[bucket] = forest.right(node);
+    best_abstract->alive = false;
+    eliminate_against_all(add_candidate(std::move(left)));
+    eliminate_against_all(add_candidate(std::move(right)));
+  }
+}
+
+}  // namespace planorder::core

@@ -1,0 +1,80 @@
+#ifndef PLANORDER_CORE_EVALUATE_H_
+#define PLANORDER_CORE_EVALUATE_H_
+
+#include <algorithm>
+
+#include "core/abstraction.h"
+#include "utility/model.h"
+
+namespace planorder::core {
+
+/// Utility evaluation of a (possibly abstract) plan, optionally with a
+/// probe-lifted lower bound.
+///
+/// The model's interval is an enclosure of every member's utility, so its
+/// lower bound is min-over-members — often loose (e.g. coverage of a group
+/// intersection box is usually 0). The paper's dominance notion (Section
+/// 5.1) only requires ONE concrete plan of p to be at least every plan of q,
+/// so a valid lower bound for pruning is the exact utility of any single
+/// member: with use_probes the model-suggested probe member is evaluated and
+/// max(model lower bound, probe utility) becomes the pruning bound,
+/// remembering which justification applies:
+///  - utility.lo() == model_lo: every member dominates (any-member witness);
+///  - otherwise only the probe member is known to dominate (probe witness).
+///
+/// In practice the measures' tightened upper bounds (e.g. the coverage
+/// model's best-member bound) make best-first refinement locate a strong
+/// concrete plan quickly, whose exact point utility then prunes as well as
+/// a probe would — without the extra evaluation per abstract plan. Probes
+/// are therefore off by default; bench/bench_probe_ablation.cc quantifies
+/// the tradeoff.
+struct PlanEvaluation {
+  Interval utility = Interval::Point(0.0);
+  /// The min-over-members lower bound from the model's enclosure.
+  double model_lo = 0.0;
+  /// The probe member plan (equals the plan itself when concrete).
+  utility::ConcretePlan probe;
+};
+
+inline PlanEvaluation EvaluateWithProbe(const AbstractPlan& plan,
+                                        utility::UtilityModel& model,
+                                        const utility::ExecutionContext& ctx,
+                                        int64_t* evaluations,
+                                        bool use_probes = true) {
+  const std::vector<const stats::StatSummary*> summaries = plan.Summaries();
+  const utility::NodeSpan nodes(summaries.data(), summaries.size());
+  PlanEvaluation result;
+  if (evaluations != nullptr) ++*evaluations;
+  const Interval enclosure = model.Evaluate(nodes, ctx);
+  result.model_lo = enclosure.lo();
+  if (plan.IsConcrete()) {
+    result.utility = enclosure;
+    result.probe = plan.ToConcrete();
+    return result;
+  }
+  if (!use_probes) {
+    // Plain interval semantics (the paper's original evaluation): the lower
+    // bound stays min-over-members and no witness member is identified.
+    result.utility = enclosure;
+    result.probe.assign(summaries.size(), -1);
+    for (size_t b = 0; b < summaries.size(); ++b) {
+      result.probe[b] = summaries[b]->members.front();
+    }
+    return result;
+  }
+  result.probe.resize(summaries.size());
+  for (size_t b = 0; b < summaries.size(); ++b) {
+    result.probe[b] = model.ProbeMember(*summaries[b]);
+  }
+  if (evaluations != nullptr) ++*evaluations;
+  const double probe_utility = model.EvaluateConcrete(result.probe, ctx);
+  // The probe lies inside the enclosure up to rounding; clamp defensively.
+  const double lo =
+      std::min(std::max(enclosure.lo(), probe_utility), enclosure.hi());
+  result.utility = Interval(lo, enclosure.hi());
+  return result;
+}
+
+}  // namespace planorder::core
+
+#endif  // PLANORDER_CORE_EVALUATE_H_

@@ -1,0 +1,51 @@
+#ifndef PLANORDER_CORE_IDRIPS_H_
+#define PLANORDER_CORE_IDRIPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/drips.h"
+#include "core/orderer.h"
+
+namespace planorder::core {
+
+/// The iDrips algorithm (Section 5.2): run Drips across the current plan
+/// spaces to find the best plan, emit it, remove it from its space by
+/// recursive splitting, re-abstract the new spaces, repeat. Works for any
+/// utility measure; rebuilds all dominance information every iteration
+/// (the inefficiency Streamer addresses).
+class IDripsOrderer : public Orderer {
+ public:
+  static StatusOr<std::unique_ptr<IDripsOrderer>> Create(
+      const stats::Workload* workload, utility::UtilityModel* model,
+      std::vector<PlanSpace> spaces,
+      AbstractionHeuristic heuristic = AbstractionHeuristic::kByCardinality,
+      bool probe_lower_bounds = false);
+
+  std::string name() const override { return "idrips"; }
+
+ protected:
+  StatusOr<OrderedPlan> ComputeNext() override;
+
+ private:
+  struct SpaceEntry {
+    PlanSpace space;
+    AbstractionForest forest;
+  };
+
+  IDripsOrderer(const stats::Workload* workload, utility::UtilityModel* model,
+                AbstractionHeuristic heuristic, bool probe_lower_bounds)
+      : Orderer(workload, model),
+        heuristic_(heuristic),
+        probe_lower_bounds_(probe_lower_bounds) {}
+
+  void AddSpace(PlanSpace space);
+
+  AbstractionHeuristic heuristic_;
+  bool probe_lower_bounds_ = true;
+  std::vector<std::unique_ptr<SpaceEntry>> spaces_;
+};
+
+}  // namespace planorder::core
+
+#endif  // PLANORDER_CORE_IDRIPS_H_

@@ -1,0 +1,38 @@
+#include "core/merged.h"
+
+namespace planorder::core {
+
+StatusOr<MergedPlan> MergedOrderer::Next() {
+  if (exhausted_.empty()) exhausted_.assign(streams_.size(), 0);
+  // Refill empty heads.
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    if (heads_[i].has_value() || exhausted_[i]) continue;
+    auto next = streams_[i]->Next();
+    if (next.ok()) {
+      heads_[i] = std::move(*next);
+    } else if (next.status().code() == StatusCode::kNotFound) {
+      exhausted_[i] = 1;
+    } else {
+      return next.status();
+    }
+  }
+  int best = -1;
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    if (!heads_[i].has_value()) continue;
+    if (best < 0 || heads_[i]->utility > heads_[best]->utility) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return NotFoundError("all plan streams exhausted");
+  MergedPlan out{best, std::move(*heads_[best])};
+  heads_[best].reset();
+  return out;
+}
+
+int64_t MergedOrderer::plan_evaluations() const {
+  int64_t total = 0;
+  for (const Orderer* stream : streams_) total += stream->plan_evaluations();
+  return total;
+}
+
+}  // namespace planorder::core

@@ -1,0 +1,56 @@
+#ifndef PLANORDER_CORE_MERGED_H_
+#define PLANORDER_CORE_MERGED_H_
+
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+#include "core/orderer.h"
+
+namespace planorder::core {
+
+/// A plan emitted by a merge of several streams, tagged with its stream.
+struct MergedPlan {
+  int stream = 0;
+  OrderedPlan plan;
+};
+
+/// K-way merge of independently ordered plan streams, by utility.
+///
+/// This is the Section 7 recipe for reformulation algorithms that produce
+/// several plan spaces with *different bucket structures* (MiniCon): order
+/// each space with its own orderer over its own workload, then merge the
+/// streams. The merge buffers one head plan per stream and repeatedly emits
+/// the best head.
+///
+/// Correctness requires the utility measure to be fully independent
+/// (utilities never depend on executed plans): with conditioning, a plan
+/// executed from one stream could change the utilities buffered in another,
+/// and the merge would be stale. Callers pass orderers whose models report
+/// fully_independent(); this class cannot verify it and documents the
+/// contract instead.
+class MergedOrderer {
+ public:
+  /// The orderers must outlive the merger.
+  explicit MergedOrderer(std::vector<Orderer*> streams)
+      : streams_(std::move(streams)), heads_(streams_.size()) {}
+
+  MergedOrderer(const MergedOrderer&) = delete;
+  MergedOrderer& operator=(const MergedOrderer&) = delete;
+
+  /// Emits the globally next best plan, or NotFound when all streams are
+  /// exhausted.
+  StatusOr<MergedPlan> Next();
+
+  /// Total plan evaluations across the streams.
+  int64_t plan_evaluations() const;
+
+ private:
+  std::vector<Orderer*> streams_;
+  std::vector<std::optional<OrderedPlan>> heads_;
+  std::vector<char> exhausted_ = {};
+};
+
+}  // namespace planorder::core
+
+#endif  // PLANORDER_CORE_MERGED_H_

@@ -1,0 +1,284 @@
+#include "core/streamer.h"
+
+#include <algorithm>
+
+#include "core/evaluate.h"
+
+namespace planorder::core {
+
+StatusOr<std::unique_ptr<StreamerOrderer>> StreamerOrderer::Create(
+    const stats::Workload* workload, utility::UtilityModel* model,
+    std::vector<PlanSpace> spaces, AbstractionHeuristic heuristic,
+    bool probe_lower_bounds) {
+  if (!model->diminishing_returns()) {
+    return FailedPreconditionError(
+        "Streamer requires utility-diminishing returns; '" + model->name() +
+        "' does not provide it");
+  }
+  PLANORDER_ASSIGN_OR_RETURN(spaces,
+                             ValidateSpaces(*workload, std::move(spaces)));
+  auto orderer = std::unique_ptr<StreamerOrderer>(
+      new StreamerOrderer(workload, model, probe_lower_bounds));
+  // Step 1 (Figure 5): abstract every bucket once; the top plan of each
+  // space enters the graph with nil utility.
+  for (const PlanSpace& space : spaces) {
+    orderer->forests_.push_back(std::make_unique<AbstractionForest>(
+        AbstractionForest::Build(*workload, space, heuristic)));
+    const AbstractionForest& forest = *orderer->forests_.back();
+    AbstractPlan top;
+    top.forest = &forest;
+    top.nodes.resize(forest.num_buckets());
+    for (int b = 0; b < forest.num_buckets(); ++b) {
+      top.nodes[b] = forest.root(b);
+    }
+    orderer->AddNode(std::move(top));
+  }
+  return orderer;
+}
+
+int StreamerOrderer::AddNode(AbstractPlan plan) {
+  Node node;
+  node.concrete = plan.IsConcrete();
+  node.summaries = plan.Summaries();
+  node.plan = std::move(plan);
+  nodes_.push_back(std::move(node));
+  out_links_.emplace_back();
+  const int id = static_cast<int>(nodes_.size() - 1);
+  alive_.insert(id);
+  nondominated_.insert(id);
+  return id;
+}
+
+void StreamerOrderer::AddLink(int from, int to) {
+  Link link;
+  link.from = from;
+  link.to = to;
+  // Justification: if even the min-over-members bound dominates, any member
+  // dominates and a failed witness may be replaced; otherwise only the probe
+  // member is known to dominate.
+  link.any_member = nodes_[from].model_lo >= nodes_[to].utility.hi();
+  link.witness = nodes_[from].probe;
+  link.created_epoch = ctx().epoch();
+  int index;
+  if (!free_links_.empty()) {
+    index = free_links_.back();
+    free_links_.pop_back();
+    links_[index] = std::move(link);
+  } else {
+    links_.push_back(std::move(link));
+    index = static_cast<int>(links_.size() - 1);
+  }
+  out_links_[from].push_back(index);
+  alive_links_.insert(index);
+  if (nodes_[to].incoming++ == 0) nondominated_.erase(to);
+}
+
+void StreamerOrderer::KillLink(int link_index) {
+  Link& link = links_[link_index];
+  if (!link.alive) return;
+  link.alive = false;
+  link.witness.clear();
+  alive_links_.erase(link_index);
+  free_links_.push_back(link_index);
+  if (--nodes_[link.to].incoming == 0 && nodes_[link.to].alive) {
+    nondominated_.insert(link.to);
+  }
+  auto& out = out_links_[link.from];
+  out.erase(std::remove(out.begin(), out.end(), link_index), out.end());
+}
+
+void StreamerOrderer::RemoveNode(int node_index) {
+  nodes_[node_index].alive = false;
+  alive_.erase(node_index);
+  nondominated_.erase(node_index);
+  // Copy: KillLink edits out_links_[node_index].
+  const std::vector<int> out = out_links_[node_index];
+  for (int link_index : out) KillLink(link_index);
+}
+
+bool StreamerOrderer::UtilityCurrent(Node& node) {
+  if (node.eval_epoch < 0) return false;
+  const std::vector<ConcretePlan>& executed = ctx().executed();
+  const utility::NodeSpan span(node.summaries.data(), node.summaries.size());
+  for (size_t i = static_cast<size_t>(node.eval_epoch); i < executed.size();
+       ++i) {
+    if (!model().GroupIndependentOf(span, executed[i])) {
+      node.eval_epoch = -1;
+      return false;
+    }
+  }
+  node.eval_epoch = static_cast<int64_t>(executed.size());
+  return true;
+}
+
+bool StreamerOrderer::Dominates(int a, int b) const {
+  const Interval& ua = nodes_[a].utility;
+  const Interval& ub = nodes_[b].utility;
+  if (!ua.DominatesOrEquals(ub)) return false;
+  // Mutual domination (point-tied utilities): only the lower id dominates,
+  // keeping the dominance relation acyclic.
+  if (ub.DominatesOrEquals(ua)) return a < b;
+  return true;
+}
+
+StatusOr<OrderedPlan> StreamerOrderer::ComputeNext() {
+  // Step 2 of Figure 5.
+  std::vector<int>& snapshot = scratch_;
+  while (true) {
+    if (nondominated_.empty()) return NotFoundError("plan spaces exhausted");
+
+    // (2.a) Recompute nil (or stale) utilities of nondominated plans.
+    snapshot.clear();
+    for (int n : nondominated_) {
+      Node& node = nodes_[n];
+      if (!UtilityCurrent(node)) {
+        const PlanEvaluation eval = EvaluateWithProbe(
+            node.plan, model(), ctx(), &evaluations_, probe_lower_bounds_);
+        node.utility = eval.utility;
+        node.model_lo = eval.model_lo;
+        node.probe = eval.probe;
+        node.eval_epoch = ctx().epoch();
+      }
+      snapshot.push_back(n);
+    }
+
+    // (2.b) Create domination links among the nondominated plans. Any
+    // dominating pair is sound (Figure 5 links all of them); we link each
+    // dominated plan from its CLOSEST dominator in utility order, so the
+    // frontier forms a chain rather than a star: emitting the best plan
+    // then frees only its immediate successors instead of resurfacing the
+    // whole frontier. Pick the refinement target (2.c) in the same pass:
+    // highest upper bound among the surviving abstract plans (ties: widest
+    // interval).
+    std::sort(snapshot.begin(), snapshot.end(), [&](int a, int b) {
+      if (nodes_[a].utility.lo() != nodes_[b].utility.lo()) {
+        return nodes_[a].utility.lo() > nodes_[b].utility.lo();
+      }
+      return a < b;
+    });
+    int pick = -1;
+    for (size_t j = 0; j < snapshot.size(); ++j) {
+      const int n = snapshot[j];
+      bool dominated = false;
+      for (size_t i = j; i-- > 0;) {
+        if (Dominates(snapshot[i], n)) {
+          AddLink(snapshot[i], n);
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      const Node& node = nodes_[n];
+      if (node.concrete) continue;
+      if (pick < 0 || node.utility.hi() > nodes_[pick].utility.hi() ||
+          (node.utility.hi() == nodes_[pick].utility.hi() &&
+           node.utility.width() > nodes_[pick].utility.width())) {
+        pick = n;
+      }
+    }
+    if (pick >= 0) {
+      const AbstractPlan& plan = nodes_[pick].plan;
+      const AbstractionForest& forest = *plan.forest;
+      // Refine the bucket whose abstract source has the most members.
+      int bucket = -1;
+      size_t best_members = 0;
+      for (size_t b = 0; b < plan.nodes.size(); ++b) {
+        if (forest.is_leaf(plan.nodes[b])) continue;
+        const size_t members = forest.summary(plan.nodes[b]).members.size();
+        if (members > best_members) {
+          best_members = members;
+          bucket = static_cast<int>(b);
+        }
+      }
+      PLANORDER_CHECK_GE(bucket, 0);
+      AbstractPlan left = plan;
+      left.nodes[bucket] = forest.left(plan.nodes[bucket]);
+      AbstractPlan right = plan;
+      right.nodes[bucket] = forest.right(plan.nodes[bucket]);
+      const double parent_model_lo = nodes_[pick].model_lo;
+      const int left_id = AddNode(std::move(left));
+      const int right_id = AddNode(std::move(right));
+      // Transfer the refined node's outgoing links to the child containing
+      // each link's dominance witness: the witness (a concrete plan of the
+      // parent) lies in exactly one child and its justification carries
+      // over. Any-member links carry over to either child (its members are
+      // a subset of the parent's), at the price of a more conservative
+      // validity check later.
+      for (int link_index : out_links_[pick]) {
+        Link& link = links_[link_index];
+        const std::vector<int>& left_members =
+            nodes_[left_id].summaries[bucket]->members;
+        int new_from = left_id;
+        if (!std::binary_search(left_members.begin(), left_members.end(),
+                                link.witness[bucket])) {
+          new_from = right_id;
+        }
+        link.from = new_from;
+        out_links_[new_from].push_back(link_index);
+      }
+      out_links_[pick].clear();
+      // The children have no utilities yet; keep the lower bound the links
+      // may consult conservative until 2.a refreshes them.
+      nodes_[left_id].model_lo = parent_model_lo;
+      nodes_[right_id].model_lo = parent_model_lo;
+      RemoveNode(pick);
+      continue;
+    }
+
+    // (2.d) All nondominated plans are concrete. The star links leave
+    // exactly one (the max); scan for it for robustness.
+    int best = -1;
+    for (int n : nondominated_) {
+      if (best < 0 || nodes_[n].utility.lo() > nodes_[best].utility.lo()) {
+        best = n;
+      }
+    }
+    OrderedPlan result{nodes_[best].plan.ToConcrete(),
+                       nodes_[best].utility.lo()};
+    RemoveNode(best);
+    return result;
+  }
+}
+
+void StreamerOrderer::OnExecuted(const ConcretePlan& plan) {
+  // Fully independent measures: no utility ever changes, so every link is
+  // valid forever and there is nothing to recycle or invalidate.
+  if (model().fully_independent()) return;
+  // Link recycling (step 2.d, lines 2-3): a link q -> q' survives the
+  // execution of `plan` iff some concrete plan in q is independent of every
+  // plan executed since the link was created, including this one. The cached
+  // witness makes the common case one independence test; only when it fails
+  // does an any-member link search E(p,q) for a replacement.
+  const std::vector<ConcretePlan>& executed = ctx().executed();
+  std::vector<const ConcretePlan*> suffix;
+  std::vector<int> to_check(alive_links_.begin(), alive_links_.end());
+  for (int li : to_check) {
+    Link& link = links_[li];
+    if (!link.alive) continue;
+    if (model().Independent(link.witness, plan)) continue;
+    if (!link.any_member) {
+      // Only the probe member was known to dominate; it is now stale.
+      KillLink(li);
+      continue;
+    }
+    suffix.clear();
+    for (size_t i = static_cast<size_t>(link.created_epoch);
+         i < executed.size(); ++i) {
+      suffix.push_back(&executed[i]);
+    }
+    const Node& from = nodes_[link.from];
+    std::optional<ConcretePlan> replacement = model().FindIndependentGroupPlan(
+        utility::NodeSpan(from.summaries.data(), from.summaries.size()),
+        suffix);
+    if (replacement.has_value()) {
+      link.witness = std::move(*replacement);
+    } else {
+      KillLink(li);
+    }
+  }
+  // Utility invalidation is lazy: UtilityCurrent() verifies independence
+  // against the plans executed since a node's evaluation at access time, so
+  // dominated nodes cost nothing here.
+}
+
+}  // namespace planorder::core

@@ -1,0 +1,128 @@
+#ifndef PLANORDER_CORE_STREAMER_H_
+#define PLANORDER_CORE_STREAMER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/abstraction.h"
+#include "core/orderer.h"
+
+namespace planorder::core {
+
+/// The Streamer algorithm (Section 5.2, Figure 5). Applicable when the
+/// utility measure has diminishing returns. Abstracts sources once, then
+/// maintains a dominance graph whose alive nodes partition the not-yet
+/// emitted plan space:
+///
+///  - nodes are (possibly abstract) plans with interval utilities;
+///  - a link b -> c records that b's utility interval dominated c's when the
+///    link was created; a node with no incoming link is nondominated;
+///  - nondominated abstract plans are refined (children replace the parent);
+///  - when every nondominated plan is concrete, the best one is emitted.
+///
+/// After emitting d, instead of rebuilding dominance information (iDrips),
+/// Streamer recycles it: each link p -> q carries the set E(p,q) of plans
+/// emitted since its creation, and stays valid as long as some concrete plan
+/// in p is independent of all of E(p,q) — that plan's utility is unchanged
+/// while q's can only have fallen (diminishing returns), so p still
+/// dominates q. Links that fail the check are dropped; utilities of plans
+/// not independent of d are invalidated and lazily recomputed.
+///
+/// Implementation notes relative to Figure 5:
+///  - Links are created star-wise from the current best nondominated plan
+///    rather than between every dominating pair; this leaves the same
+///    nondominated frontier with O(frontier) instead of O(frontier^2) links.
+///  - Abstract lower bounds are lifted by probe members (core/evaluate.h);
+///    a link justified only by the probe carries it as its witness and is
+///    revalidated by checking the witness's independence incrementally.
+class StreamerOrderer : public Orderer {
+ public:
+  /// Fails when `model` lacks diminishing returns (e.g. cost with caching).
+  static StatusOr<std::unique_ptr<StreamerOrderer>> Create(
+      const stats::Workload* workload, utility::UtilityModel* model,
+      std::vector<PlanSpace> spaces,
+      AbstractionHeuristic heuristic = AbstractionHeuristic::kByCardinality,
+      bool probe_lower_bounds = false);
+
+  std::string name() const override { return "streamer"; }
+
+  /// Introspection for tests/benchmarks.
+  int num_alive_nodes() const { return static_cast<int>(alive_.size()); }
+  int num_alive_links() const { return static_cast<int>(alive_links_.size()); }
+
+ protected:
+  StatusOr<OrderedPlan> ComputeNext() override;
+  void OnExecuted(const ConcretePlan& plan) override;
+
+ private:
+  struct Node {
+    AbstractPlan plan;
+    /// Cached plan.Summaries() (stable: forests are immutable).
+    std::vector<const stats::StatSummary*> summaries;
+    Interval utility;
+    /// Min-over-members lower bound (see core/evaluate.h): when a link was
+    /// justified by this bound, every member dominated the target.
+    double model_lo = 0.0;
+    /// Probe member whose exact utility lifted utility.lo().
+    ConcretePlan probe;
+    /// Number of executed plans the stored utility is conditioned on; -1
+    /// when never evaluated. Staleness is checked lazily on access: the
+    /// utility is current iff the node is independent of every plan executed
+    /// since (diminishing-returns measures only shift dependent utilities).
+    int64_t eval_epoch = -1;
+    bool alive = true;
+    bool concrete = false;
+    int incoming = 0;  // alive incoming links
+  };
+  struct Link {
+    int from;
+    int to;
+    bool alive = true;
+    /// True when every member of `from` dominated `to` at creation (plain
+    /// interval justification); false when only the probe member is known to
+    /// dominate. Decides whether a failed witness may be replaced.
+    bool any_member = true;
+    /// A concrete member of `from` known to dominate `to` at creation and
+    /// verified independent of everything executed since. Checked
+    /// incrementally per emission; on failure, any-member links search for a
+    /// replacement witness over E(p,q), probe links die.
+    ConcretePlan witness;
+    /// Epoch at creation: E(p,q) is the suffix of the context's executed
+    /// list starting here — no per-link storage needed.
+    int64_t created_epoch = 0;
+  };
+
+  StreamerOrderer(const stats::Workload* workload, utility::UtilityModel* model,
+                  bool probe_lower_bounds)
+      : Orderer(workload, model), probe_lower_bounds_(probe_lower_bounds) {}
+
+  int AddNode(AbstractPlan plan);
+  void AddLink(int from, int to);
+  void KillLink(int link_index);
+  /// Kills `node` and every link leaving it.
+  void RemoveNode(int node_index);
+  /// Lower-id-wins interval domination (keeps the relation acyclic on ties).
+  bool Dominates(int a, int b) const;
+  /// True when the node's stored utility still reflects the executed set;
+  /// fast-forwards eval_epoch when it does.
+  bool UtilityCurrent(Node& node);
+
+  std::vector<std::unique_ptr<AbstractionForest>> forests_;
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<int> free_links_;                       // recyclable slots
+  std::vector<std::vector<int>> out_links_;           // node -> link indices
+  std::set<int> alive_;                               // alive node ids
+  std::set<int> nondominated_;                        // alive, incoming == 0
+  std::set<int> alive_links_;                         // alive link indices
+  std::vector<int> scratch_;                          // reusable buffer
+  bool probe_lower_bounds_ = true;
+};
+
+}  // namespace planorder::core
+
+#endif  // PLANORDER_CORE_STREAMER_H_

@@ -1,0 +1,37 @@
+#include "datalog/atom.h"
+
+namespace planorder::datalog {
+namespace {
+
+void CollectTermVariables(const Term& term, std::set<std::string>& out) {
+  if (term.is_variable()) {
+    out.insert(term.name());
+    return;
+  }
+  for (const Term& arg : term.args()) CollectTermVariables(arg, out);
+}
+
+}  // namespace
+
+bool Atom::IsGround() const {
+  for (const Term& t : args) {
+    if (!t.IsGround()) return false;
+  }
+  return true;
+}
+
+void Atom::CollectVariables(std::set<std::string>& out) const {
+  for (const Term& t : args) CollectTermVariables(t, out);
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace planorder::datalog

@@ -1,0 +1,49 @@
+#ifndef PLANORDER_DATALOG_ATOM_H_
+#define PLANORDER_DATALOG_ATOM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/term.h"
+
+namespace planorder::datalog {
+
+/// A predicate applied to terms: play-in(A, M), V1(ford, M), ...
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(std::string predicate_in, std::vector<Term> args_in)
+      : predicate(std::move(predicate_in)), args(std::move(args_in)) {}
+
+  size_t arity() const { return args.size(); }
+  bool IsGround() const;
+
+  /// Inserts every variable occurring in the atom into `out`.
+  void CollectVariables(std::set<std::string>& out) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate == b.predicate && a.args == b.args;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.predicate != b.predicate) return a.predicate < b.predicate;
+    return a.args < b.args;
+  }
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& atom) const {
+    size_t seed = std::hash<std::string>()(atom.predicate);
+    for (const Term& t : atom.args) t.HashInto(seed);
+    return seed;
+  }
+};
+
+}  // namespace planorder::datalog
+
+#endif  // PLANORDER_DATALOG_ATOM_H_

@@ -1,0 +1,43 @@
+#include "datalog/builtins.h"
+
+#include <cstdlib>
+
+namespace planorder::datalog {
+
+bool IsComparisonPredicate(const std::string& name) {
+  return name == "lt" || name == "le" || name == "gt" || name == "ge" ||
+         name == "neq";
+}
+
+bool IsComparisonAtom(const Atom& atom) {
+  return atom.arity() == 2 && IsComparisonPredicate(atom.predicate);
+}
+
+std::optional<double> NumericValue(const Term& term) {
+  if (!term.is_constant()) return std::nullopt;
+  const std::string& text = term.name();
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return value;
+}
+
+StatusOr<bool> EvaluateComparison(const Atom& atom) {
+  if (!IsComparisonAtom(atom)) {
+    return InvalidArgumentError(atom.ToString() + " is not a comparison");
+  }
+  const std::optional<double> lhs = NumericValue(atom.args[0]);
+  const std::optional<double> rhs = NumericValue(atom.args[1]);
+  if (!lhs.has_value() || !rhs.has_value()) {
+    return InvalidArgumentError("comparison over non-numeric term in " +
+                                atom.ToString());
+  }
+  if (atom.predicate == "lt") return *lhs < *rhs;
+  if (atom.predicate == "le") return *lhs <= *rhs;
+  if (atom.predicate == "gt") return *lhs > *rhs;
+  if (atom.predicate == "ge") return *lhs >= *rhs;
+  return *lhs != *rhs;  // neq
+}
+
+}  // namespace planorder::datalog

@@ -1,0 +1,103 @@
+#include "datalog/conjunctive_query.h"
+
+#include "datalog/builtins.h"
+#include "datalog/unify.h"
+
+namespace planorder::datalog {
+namespace {
+
+Term RenameTerm(const Term& term, const std::string& suffix) {
+  switch (term.kind()) {
+    case Term::Kind::kVariable:
+      return Term::Variable(term.name() + suffix);
+    case Term::Kind::kConstant:
+      return term;
+    case Term::Kind::kFunction: {
+      std::vector<Term> args;
+      args.reserve(term.args().size());
+      for (const Term& arg : term.args()) args.push_back(RenameTerm(arg, suffix));
+      return Term::Function(term.name(), std::move(args));
+    }
+  }
+  return term;
+}
+
+Atom RenameAtom(const Atom& atom, const std::string& suffix) {
+  Atom out;
+  out.predicate = atom.predicate;
+  out.args.reserve(atom.args.size());
+  for (const Term& t : atom.args) out.args.push_back(RenameTerm(t, suffix));
+  return out;
+}
+
+}  // namespace
+
+std::set<std::string> ConjunctiveQuery::Variables() const {
+  std::set<std::string> vars;
+  head.CollectVariables(vars);
+  for (const Atom& atom : body) atom.CollectVariables(vars);
+  return vars;
+}
+
+std::set<std::string> ConjunctiveQuery::HeadVariables() const {
+  std::set<std::string> vars;
+  head.CollectVariables(vars);
+  return vars;
+}
+
+std::set<std::string> ConjunctiveQuery::ExistentialVariables() const {
+  std::set<std::string> body_vars;
+  for (const Atom& atom : body) atom.CollectVariables(body_vars);
+  for (const std::string& v : HeadVariables()) body_vars.erase(v);
+  return body_vars;
+}
+
+Status ConjunctiveQuery::ValidateSafety() const {
+  // Safety is judged against the relational atoms: interpreted comparison
+  // atoms filter, they never bind.
+  std::set<std::string> relational_vars;
+  for (const Atom& atom : body) {
+    if (!IsComparisonAtom(atom)) atom.CollectVariables(relational_vars);
+  }
+  for (const std::string& v : HeadVariables()) {
+    if (!relational_vars.contains(v)) {
+      return InvalidArgumentError("unsafe rule: head variable '" + v +
+                                  "' does not occur in the body of " +
+                                  ToString());
+    }
+  }
+  for (const Atom& atom : body) {
+    if (!IsComparisonAtom(atom)) continue;
+    std::set<std::string> vars;
+    atom.CollectVariables(vars);
+    for (const std::string& v : vars) {
+      if (!relational_vars.contains(v)) {
+        return InvalidArgumentError("unsafe rule: comparison variable '" + v +
+                                    "' is not bound by a relational atom in " +
+                                    ToString());
+      }
+    }
+  }
+  return OkStatus();
+}
+
+ConjunctiveQuery ConjunctiveQuery::RenameVariables(
+    const std::string& suffix) const {
+  ConjunctiveQuery out;
+  out.head = RenameAtom(head, suffix);
+  out.body.reserve(body.size());
+  for (const Atom& atom : body) out.body.push_back(RenameAtom(atom, suffix));
+  return out;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = head.ToString() + " :- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].ToString();
+  }
+  if (body.empty()) out += "true";
+  return out;
+}
+
+}  // namespace planorder::datalog

@@ -1,0 +1,54 @@
+#ifndef PLANORDER_DATALOG_CONJUNCTIVE_QUERY_H_
+#define PLANORDER_DATALOG_CONJUNCTIVE_QUERY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/atom.h"
+
+namespace planorder::datalog {
+
+/// A conjunctive query / datalog rule: head(Y) :- body_1(Y_1), ..., body_m(Y_m).
+/// User queries, LAV source descriptions, query plans, and inverse rules all
+/// share this shape.
+struct ConjunctiveQuery {
+  Atom head;
+  std::vector<Atom> body;
+
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(Atom head_in, std::vector<Atom> body_in)
+      : head(std::move(head_in)), body(std::move(body_in)) {}
+
+  /// All variables occurring in head or body.
+  std::set<std::string> Variables() const;
+
+  /// Variables of the head (the distinguished variables).
+  std::set<std::string> HeadVariables() const;
+
+  /// Variables occurring in the body but not in the head (the existential
+  /// variables).
+  std::set<std::string> ExistentialVariables() const;
+
+  /// OK iff the query is safe: every head variable occurs in the body.
+  Status ValidateSafety() const;
+
+  /// A copy with every variable renamed by appending `suffix`; used to give
+  /// view expansions and rule instances fresh variable names.
+  ConjunctiveQuery RenameVariables(const std::string& suffix) const;
+
+  /// "q(X,Y) :- r(X,Z), s(Z,Y)".
+  std::string ToString() const;
+
+  friend bool operator==(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+    return a.head == b.head && a.body == b.body;
+  }
+};
+
+/// A datalog rule is structurally a conjunctive query.
+using Rule = ConjunctiveQuery;
+
+}  // namespace planorder::datalog
+
+#endif  // PLANORDER_DATALOG_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,261 @@
+#include "datalog/containment.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/builtins.h"
+#include "datalog/unify.h"
+
+namespace planorder::datalog {
+namespace {
+
+/// Value bounds a conjunction of var-constant comparisons places on one
+/// term: an interval with strictness flags plus excluded points.
+struct Bounds {
+  double lo = -std::numeric_limits<double>::infinity();
+  bool lo_strict = false;
+  double hi = std::numeric_limits<double>::infinity();
+  bool hi_strict = false;
+  std::set<double> excluded;
+
+  bool Empty() const {
+    if (lo > hi) return true;
+    if (lo == hi && (lo_strict || hi_strict)) return true;
+    if (lo == hi && excluded.contains(lo)) return true;
+    return false;
+  }
+};
+
+/// A comparison normalized to "term OP constant" (or detected as
+/// var-var/unsupported).
+struct NormalizedComparison {
+  bool var_on_left = false;  // true when normalization succeeded
+  std::string var;
+  std::string op;  // lt | le | gt | ge | neq, applied as var OP value
+  double value = 0.0;
+};
+
+const char* FlipOp(const std::string& op) {
+  if (op == "lt") return "gt";
+  if (op == "le") return "ge";
+  if (op == "gt") return "lt";
+  if (op == "ge") return "le";
+  return "neq";
+}
+
+/// Tries to normalize cmp(a, b) into "var OP numeric constant".
+std::optional<NormalizedComparison> Normalize(const Atom& atom) {
+  const Term& a = atom.args[0];
+  const Term& b = atom.args[1];
+  NormalizedComparison out;
+  if (a.is_variable()) {
+    const std::optional<double> value = NumericValue(b);
+    if (!value.has_value()) return std::nullopt;
+    out.var_on_left = true;
+    out.var = a.name();
+    out.op = atom.predicate;
+    out.value = *value;
+    return out;
+  }
+  if (b.is_variable()) {
+    const std::optional<double> value = NumericValue(a);
+    if (!value.has_value()) return std::nullopt;
+    out.var_on_left = true;
+    out.var = b.name();
+    out.op = FlipOp(atom.predicate);
+    out.value = *value;
+    return out;
+  }
+  return std::nullopt;
+}
+
+/// Accumulates `nc` into the bounds table.
+void Accumulate(const NormalizedComparison& nc,
+                std::map<std::string, Bounds>& bounds) {
+  Bounds& b = bounds[nc.var];
+  if (nc.op == "lt") {
+    if (nc.value < b.hi || (nc.value == b.hi && !b.hi_strict)) {
+      b.hi = nc.value;
+      b.hi_strict = true;
+    }
+  } else if (nc.op == "le") {
+    if (nc.value < b.hi) {
+      b.hi = nc.value;
+      b.hi_strict = false;
+    }
+  } else if (nc.op == "gt") {
+    if (nc.value > b.lo || (nc.value == b.lo && !b.lo_strict)) {
+      b.lo = nc.value;
+      b.lo_strict = true;
+    }
+  } else if (nc.op == "ge") {
+    if (nc.value > b.lo) {
+      b.lo = nc.value;
+      b.lo_strict = false;
+    }
+  } else {  // neq
+    b.excluded.insert(nc.value);
+  }
+}
+
+/// True when `bounds` for nc.var imply "var OP value".
+bool Implies(const std::map<std::string, Bounds>& bounds,
+             const NormalizedComparison& nc) {
+  Bounds b;  // unconstrained default
+  auto it = bounds.find(nc.var);
+  if (it != bounds.end()) b = it->second;
+  if (b.Empty()) return true;  // no satisfying value at all
+  if (nc.op == "lt") {
+    return b.hi < nc.value || (b.hi == nc.value && b.hi_strict);
+  }
+  if (nc.op == "le") return b.hi <= nc.value;
+  if (nc.op == "gt") {
+    return b.lo > nc.value || (b.lo == nc.value && b.lo_strict);
+  }
+  if (nc.op == "ge") return b.lo >= nc.value;
+  // neq: the value must be outside the feasible region or excluded.
+  if (nc.value < b.lo || nc.value > b.hi) return true;
+  if (nc.value == b.lo && b.lo_strict) return true;
+  if (nc.value == b.hi && b.hi_strict) return true;
+  return b.excluded.contains(nc.value);
+}
+
+/// Collects the constraint state of `sub`'s comparisons. Returns false when
+/// `sub` is unsatisfiable (then it is contained in everything).
+bool CollectSubConstraints(const std::vector<Atom>& comparisons,
+                           std::map<std::string, Bounds>& bounds,
+                           std::set<std::string>& exact) {
+  for (const Atom& atom : comparisons) {
+    exact.insert(atom.ToString());
+    if (atom.args[0].is_constant() && atom.args[1].is_constant()) {
+      auto holds = EvaluateComparison(atom);
+      // Non-numeric constant comparisons: treat as opaque (keep exact form).
+      if (holds.ok() && !*holds) return false;  // unsatisfiable
+      continue;
+    }
+    const std::optional<NormalizedComparison> nc = Normalize(atom);
+    if (nc.has_value()) Accumulate(*nc, bounds);
+    // var-var comparisons stay opaque: usable only via exact-form matching.
+  }
+  for (const auto& [unused, b] : bounds) {
+    if (b.Empty()) return false;
+  }
+  return true;
+}
+
+/// True when the (resolved) comparison of `super` is implied by sub's
+/// constraints.
+bool ComparisonImplied(const Atom& resolved,
+                       const std::map<std::string, Bounds>& bounds,
+                       const std::set<std::string>& exact) {
+  if (resolved.args[0].is_constant() && resolved.args[1].is_constant()) {
+    auto holds = EvaluateComparison(resolved);
+    return holds.ok() && *holds;
+  }
+  if (exact.contains(resolved.ToString())) return true;
+  // Symmetric / flipped exact forms: cmp(a,b) == Flip(cmp)(b,a).
+  Atom flipped;
+  flipped.predicate = FlipOp(resolved.predicate);
+  flipped.args = {resolved.args[1], resolved.args[0]};
+  if (exact.contains(flipped.ToString())) return true;
+  const std::optional<NormalizedComparison> nc = Normalize(resolved);
+  if (!nc.has_value()) return false;  // var-var without exact match: unknown
+  return Implies(bounds, *nc);
+}
+
+/// Backtracking search mapping each atom of `pattern_body` (relational atoms
+/// of `super`, containing mappable variables) to some atom of `target_body`
+/// (frozen relational atoms of `sub`); on every complete mapping, `accept`
+/// gets the final substitution and may reject it (comparison implication),
+/// in which case the search continues.
+bool MapBody(const std::vector<Atom>& pattern_body,
+             const std::vector<Atom>& target_body, size_t index,
+             Substitution& subst,
+             const std::function<bool(const Substitution&)>& accept) {
+  if (index == pattern_body.size()) return accept(subst);
+  for (const Atom& candidate : target_body) {
+    Substitution attempt = subst;
+    if (MatchAtom(pattern_body[index], candidate, attempt) &&
+        MapBody(pattern_body, target_body, index + 1, attempt, accept)) {
+      subst = std::move(attempt);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Partition(const std::vector<Atom>& body, std::vector<Atom>& relational,
+               std::vector<Atom>& comparisons) {
+  for (const Atom& atom : body) {
+    if (IsComparisonAtom(atom)) {
+      comparisons.push_back(atom);
+    } else {
+      relational.push_back(atom);
+    }
+  }
+}
+
+}  // namespace
+
+bool IsContainedIn(const ConjunctiveQuery& sub, const ConjunctiveQuery& super) {
+  if (sub.head.predicate != super.head.predicate ||
+      sub.head.arity() != super.head.arity()) {
+    return false;
+  }
+  std::vector<Atom> sub_relational, sub_comparisons;
+  Partition(sub.body, sub_relational, sub_comparisons);
+
+  // Sub's constraint state; an unsatisfiable sub is contained in anything.
+  std::map<std::string, Bounds> bounds;
+  std::set<std::string> exact;
+  if (!CollectSubConstraints(sub_comparisons, bounds, exact)) return true;
+
+  // Rename super apart so shared variable names don't accidentally constrain
+  // the mapping; sub stays as-is and is treated as frozen.
+  const ConjunctiveQuery pattern = super.RenameVariables("$c");
+  std::vector<Atom> super_relational, super_comparisons;
+  Partition(pattern.body, super_relational, super_comparisons);
+
+  Substitution subst;
+  // The head must map exactly: pattern head args match sub head args.
+  for (size_t i = 0; i < pattern.head.args.size(); ++i) {
+    if (!MatchTerm(pattern.head.args[i], sub.head.args[i], subst)) {
+      return false;
+    }
+  }
+  // A homomorphism is acceptable when every super comparison, resolved
+  // through it, is implied by sub's constraints. This check is sound; for
+  // comparisons between two variables it may miss containments (documented
+  // restriction of the classic homomorphism + implication test).
+  return MapBody(super_relational, sub_relational, 0, subst,
+                 [&](const Substitution& complete) {
+                   for (const Atom& comparison : super_comparisons) {
+                     const Atom resolved =
+                         ApplySubstitution(comparison, complete);
+                     if (!ComparisonImplied(resolved, bounds, exact)) {
+                       return false;
+                     }
+                   }
+                   return true;
+                 });
+}
+
+bool AreEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return IsContainedIn(a, b) && IsContainedIn(b, a);
+}
+
+bool IsSatisfiable(const ConjunctiveQuery& query) {
+  std::vector<Atom> relational, comparisons;
+  Partition(query.body, relational, comparisons);
+  std::map<std::string, Bounds> bounds;
+  std::set<std::string> exact;
+  return CollectSubConstraints(comparisons, bounds, exact);
+}
+
+}  // namespace planorder::datalog

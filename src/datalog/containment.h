@@ -1,0 +1,31 @@
+#ifndef PLANORDER_DATALOG_CONTAINMENT_H_
+#define PLANORDER_DATALOG_CONTAINMENT_H_
+
+#include "datalog/conjunctive_query.h"
+
+namespace planorder::datalog {
+
+/// True iff `sub` is contained in `super`: every answer of `sub` over every
+/// database is an answer of `super`. Decided by searching for a containment
+/// mapping (Chandra–Merlin): a homomorphism from the variables of `super`
+/// onto terms of `sub` mapping super's head to sub's head and every body atom
+/// of `super` to a body atom of `sub`. Exponential in the worst case but the
+/// queries of a mediator (a handful of subgoals) are tiny.
+///
+/// The two queries need not use distinct variable names; `super` is renamed
+/// apart internally.
+bool IsContainedIn(const ConjunctiveQuery& sub, const ConjunctiveQuery& super);
+
+/// True iff the two queries are equivalent (mutual containment).
+bool AreEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+/// True iff the query can return answers on some database: its interpreted
+/// comparison constraints are jointly satisfiable (the relational part
+/// always is, by the canonical database). A plan whose expansion is
+/// unsatisfiable is vacuously sound but provably empty; the reformulation
+/// layer prunes it.
+bool IsSatisfiable(const ConjunctiveQuery& query);
+
+}  // namespace planorder::datalog
+
+#endif  // PLANORDER_DATALOG_CONTAINMENT_H_

@@ -1,0 +1,238 @@
+#include "datalog/evaluator.h"
+
+#include <functional>
+#include <set>
+
+#include "base/logging.h"
+#include "datalog/builtins.h"
+#include "datalog/unify.h"
+
+namespace planorder::datalog {
+namespace {
+
+const std::vector<std::vector<Term>> kNoTuples;
+
+/// Enumerates all substitutions that map `body` into facts, calling `emit`
+/// for each complete match. Interpreted comparison atoms evaluate as filters
+/// (their variables must be bound by the time they are reached; the callers
+/// order bodies to guarantee it). When `delta_position >= 0`, the atom at
+/// that position is matched against `delta` instead of `db` (the semi-naive
+/// restriction); other atoms match `db`.
+Status JoinBody(const std::vector<Atom>& body, const Database& db,
+                const Database* delta, int delta_position, size_t index,
+                Substitution& subst,
+                const std::function<void(const Substitution&)>& emit) {
+  if (index == body.size()) {
+    emit(subst);
+    return OkStatus();
+  }
+  const Atom& atom = body[index];
+  if (IsComparisonAtom(atom)) {
+    const Atom resolved = ApplySubstitution(atom, subst);
+    if (!resolved.IsGround()) {
+      return InternalError("comparison reached before its variables bound: " +
+                           atom.ToString());
+    }
+    PLANORDER_ASSIGN_OR_RETURN(bool holds, EvaluateComparison(resolved));
+    if (!holds) return OkStatus();
+    return JoinBody(body, db, delta, delta_position, index + 1, subst, emit);
+  }
+  const Database& from =
+      (delta != nullptr && static_cast<int>(index) == delta_position) ? *delta
+                                                                      : db;
+  for (const std::vector<Term>& tuple : from.TuplesFor(atom.predicate)) {
+    Substitution attempt = subst;
+    bool matched = true;
+    if (tuple.size() != atom.args.size()) continue;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (!MatchTerm(atom.args[i], tuple[i], attempt)) {
+        matched = false;
+        break;
+      }
+    }
+    if (matched) {
+      PLANORDER_RETURN_IF_ERROR(
+          JoinBody(body, db, delta, delta_position, index + 1, attempt, emit));
+    }
+  }
+  return OkStatus();
+}
+
+/// Greedy join ordering: repeatedly pick the atom with the most arguments
+/// already bound (constants or variables bound by earlier atoms), breaking
+/// ties toward fewer free variables and then original position. Pure
+/// reordering — conjunction is commutative — but turns cross products into
+/// index-friendly nested joins.
+std::vector<Atom> OrderBodyForJoin(const std::vector<Atom>& body) {
+  std::vector<Atom> ordered;
+  ordered.reserve(body.size());
+  std::set<std::string> bound;
+  std::vector<bool> used(body.size(), false);
+  for (size_t step = 0; step < body.size(); ++step) {
+    int best = -1;
+    int best_bound = -1;
+    int best_free = 0;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (used[i]) continue;
+      std::set<std::string> vars;
+      body[i].CollectVariables(vars);
+      int bound_count = static_cast<int>(body[i].args.size() - vars.size());
+      int free_count = 0;
+      for (const std::string& v : vars) {
+        if (bound.contains(v)) {
+          ++bound_count;
+        } else {
+          ++free_count;
+        }
+      }
+      // Comparisons are filters: only eligible once fully bound (safety
+      // guarantees a relational atom is always available otherwise), and
+      // then they run first.
+      if (IsComparisonAtom(body[i])) {
+        if (free_count > 0) continue;
+        best = static_cast<int>(i);
+        break;
+      }
+      if (best < 0 || bound_count > best_bound ||
+          (bound_count == best_bound && free_count < best_free)) {
+        best = static_cast<int>(i);
+        best_bound = bound_count;
+        best_free = free_count;
+      }
+    }
+    used[static_cast<size_t>(best)] = true;
+    body[static_cast<size_t>(best)].CollectVariables(bound);
+    ordered.push_back(body[static_cast<size_t>(best)]);
+  }
+  return ordered;
+}
+
+}  // namespace
+
+bool Database::AddFact(const Atom& fact) {
+  PLANORDER_CHECK(fact.IsGround()) << "non-ground fact " << fact.ToString();
+  PredicateData& pd = data_[fact.predicate];
+  auto [it, inserted] = pd.index.insert(fact.args);
+  if (inserted) {
+    pd.tuples.push_back(fact.args);
+    ++size_;
+  }
+  return inserted;
+}
+
+bool Database::Contains(const Atom& fact) const {
+  auto it = data_.find(fact.predicate);
+  if (it == data_.end()) return false;
+  return it->second.index.contains(fact.args);
+}
+
+const std::vector<std::vector<Term>>& Database::TuplesFor(
+    const std::string& predicate) const {
+  auto it = data_.find(predicate);
+  if (it == data_.end()) return kNoTuples;
+  return it->second.tuples;
+}
+
+std::vector<std::string> Database::Predicates() const {
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [pred, unused] : data_) out.push_back(pred);
+  return out;
+}
+
+StatusOr<std::vector<std::vector<Term>>> EvaluateQuery(
+    const ConjunctiveQuery& query, const Database& db) {
+  PLANORDER_RETURN_IF_ERROR(query.ValidateSafety());
+  std::unordered_set<std::vector<Term>, TermVectorHash> seen;
+  std::vector<std::vector<Term>> results;
+  Substitution subst;
+  Status status = OkStatus();
+  const std::vector<Atom> body = OrderBodyForJoin(query.body);
+  PLANORDER_RETURN_IF_ERROR(
+      JoinBody(body, db, /*delta=*/nullptr, /*delta_position=*/-1, 0, subst,
+           [&](const Substitution& complete) {
+             Atom head = ApplySubstitution(query.head, complete);
+             if (!head.IsGround()) {
+               status = InternalError("head not ground after safe-rule join: " +
+                                      head.ToString());
+               return;
+             }
+             if (seen.insert(head.args).second) {
+               results.push_back(std::move(head.args));
+             }
+           }));
+  PLANORDER_RETURN_IF_ERROR(status);
+  return results;
+}
+
+StatusOr<Database> EvaluateProgram(const std::vector<Rule>& rules,
+                                   const Database& edb,
+                                   const EvaluateOptions& options) {
+  for (const Rule& rule : rules) {
+    PLANORDER_RETURN_IF_ERROR(rule.ValidateSafety());
+  }
+  // Normalize rule bodies: relational atoms first (original order), then
+  // comparison filters — so filters are bound when reached and the
+  // semi-naive delta sweep ranges over relational positions only.
+  std::vector<Rule> normalized = rules;
+  std::vector<int> relational_count(normalized.size(), 0);
+  for (size_t r = 0; r < normalized.size(); ++r) {
+    std::vector<Atom> relational, comparisons;
+    for (Atom& atom : normalized[r].body) {
+      if (IsComparisonAtom(atom)) {
+        comparisons.push_back(std::move(atom));
+      } else {
+        relational.push_back(std::move(atom));
+      }
+    }
+    relational_count[r] = static_cast<int>(relational.size());
+    normalized[r].body = std::move(relational);
+    for (Atom& atom : comparisons) normalized[r].body.push_back(std::move(atom));
+  }
+
+  Database db = edb;
+  Database delta = edb;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    Database next_delta;
+    for (size_t r = 0; r < normalized.size(); ++r) {
+      const Rule& rule = normalized[r];
+      // Semi-naive: require at least one body atom to come from the last
+      // round's delta; sweep the delta position over the relational atoms.
+      for (int delta_position = 0; delta_position < relational_count[r];
+           ++delta_position) {
+        Substitution subst;
+        Status status = OkStatus();
+        PLANORDER_RETURN_IF_ERROR(JoinBody(
+            rule.body, db, &delta, delta_position, 0, subst,
+            [&](const Substitution& complete) {
+              Atom head = ApplySubstitution(rule.head, complete);
+              if (!head.IsGround()) {
+                status = InternalError("derived non-ground fact " +
+                                       head.ToString());
+                return;
+              }
+              if (!db.Contains(head)) next_delta.AddFact(head);
+            }));
+        PLANORDER_RETURN_IF_ERROR(status);
+      }
+    }
+    if (next_delta.size() == 0) return db;
+    for (const std::string& pred : next_delta.Predicates()) {
+      for (const std::vector<Term>& tuple : next_delta.TuplesFor(pred)) {
+        db.AddFact(Atom(pred, tuple));
+      }
+    }
+    if (db.size() > options.max_facts) {
+      return Status(StatusCode::kOutOfRange,
+                    "datalog evaluation exceeded max_facts; the program is "
+                    "likely recursive through Skolem terms");
+    }
+    delta = std::move(next_delta);
+  }
+  return Status(StatusCode::kOutOfRange,
+                "datalog evaluation did not reach a fixpoint within "
+                "max_iterations; the program is likely recursive through "
+                "Skolem terms");
+}
+
+}  // namespace planorder::datalog

@@ -1,0 +1,191 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace planorder::datalog {
+namespace {
+
+/// Hand-rolled recursive-descent parser over a flat character buffer.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Atom> ParseAtomOnly() {
+    PLANORDER_ASSIGN_OR_RETURN(Atom atom, ParseAtomInternal());
+    SkipWhitespace();
+    if (!AtEnd()) {
+      return InvalidArgumentError(Error("trailing characters after atom"));
+    }
+    return atom;
+  }
+
+  StatusOr<ConjunctiveQuery> ParseRuleOnly() {
+    PLANORDER_ASSIGN_OR_RETURN(ConjunctiveQuery rule, ParseRuleInternal());
+    SkipWhitespace();
+    if (Peek() == '.') Advance();
+    SkipWhitespace();
+    if (!AtEnd()) {
+      return InvalidArgumentError(Error("trailing characters after rule"));
+    }
+    return rule;
+  }
+
+  StatusOr<std::vector<ConjunctiveQuery>> ParseProgramOnly() {
+    std::vector<ConjunctiveQuery> rules;
+    SkipWhitespace();
+    while (!AtEnd()) {
+      PLANORDER_ASSIGN_OR_RETURN(ConjunctiveQuery rule, ParseRuleInternal());
+      rules.push_back(std::move(rule));
+      SkipWhitespace();
+      if (Peek() == '.') {
+        Advance();
+      } else if (!AtEnd()) {
+        return InvalidArgumentError(Error("expected '.' between statements"));
+      }
+      SkipWhitespace();
+    }
+    return rules;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset >= text_.size() ? '\0' : text_[pos_ + offset];
+  }
+  void Advance() { ++pos_; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  static bool IsIdentifierChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+  }
+
+  std::string Error(const std::string& message) const {
+    return message + " at offset " + std::to_string(pos_) + " in \"" +
+           std::string(text_) + "\"";
+  }
+
+  StatusOr<std::string> ParseIdentifier() {
+    SkipWhitespace();
+    if (!IsIdentifierChar(Peek())) {
+      return InvalidArgumentError(Error("expected identifier"));
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsIdentifierChar(Peek())) Advance();
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<Term> ParseTerm() {
+    SkipWhitespace();
+    if (Peek() == '\'') {
+      Advance();
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '\'') Advance();
+      if (AtEnd()) return InvalidArgumentError(Error("unterminated quote"));
+      std::string name(text_.substr(start, pos_ - start));
+      Advance();
+      return Term::Constant(std::move(name));
+    }
+    PLANORDER_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    // A '(' after the identifier makes this a function term (Skolem).
+    SkipWhitespace();
+    if (Peek() == '(') {
+      Advance();
+      std::vector<Term> args;
+      PLANORDER_RETURN_IF_ERROR(ParseTermList(args));
+      if (Peek() != ')') return InvalidArgumentError(Error("expected ')'"));
+      Advance();
+      return Term::Function(std::move(name), std::move(args));
+    }
+    if (std::isupper(static_cast<unsigned char>(name[0]))) {
+      return Term::Variable(std::move(name));
+    }
+    return Term::Constant(std::move(name));
+  }
+
+  Status ParseTermList(std::vector<Term>& out) {
+    while (true) {
+      PLANORDER_ASSIGN_OR_RETURN(Term term, ParseTerm());
+      out.push_back(std::move(term));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        Advance();
+        continue;
+      }
+      return OkStatus();
+    }
+  }
+
+  StatusOr<Atom> ParseAtomInternal() {
+    PLANORDER_ASSIGN_OR_RETURN(std::string predicate, ParseIdentifier());
+    SkipWhitespace();
+    if (Peek() != '(') {
+      return InvalidArgumentError(Error("expected '(' after predicate"));
+    }
+    Advance();
+    Atom atom;
+    atom.predicate = std::move(predicate);
+    SkipWhitespace();
+    if (Peek() != ')') {
+      PLANORDER_RETURN_IF_ERROR(ParseTermList(atom.args));
+      SkipWhitespace();
+    }
+    if (Peek() != ')') return InvalidArgumentError(Error("expected ')'"));
+    Advance();
+    return atom;
+  }
+
+  StatusOr<ConjunctiveQuery> ParseRuleInternal() {
+    PLANORDER_ASSIGN_OR_RETURN(Atom head, ParseAtomInternal());
+    ConjunctiveQuery rule;
+    rule.head = std::move(head);
+    SkipWhitespace();
+    if (Peek() == ':' && PeekAt(1) == '-') {
+      Advance();
+      Advance();
+      while (true) {
+        PLANORDER_ASSIGN_OR_RETURN(Atom atom, ParseAtomInternal());
+        rule.body.push_back(std::move(atom));
+        SkipWhitespace();
+        if (Peek() == ',') {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    return rule;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Atom> ParseAtom(std::string_view text) {
+  return Parser(text).ParseAtomOnly();
+}
+
+StatusOr<ConjunctiveQuery> ParseRule(std::string_view text) {
+  return Parser(text).ParseRuleOnly();
+}
+
+StatusOr<std::vector<ConjunctiveQuery>> ParseProgram(std::string_view text) {
+  return Parser(text).ParseProgramOnly();
+}
+
+}  // namespace planorder::datalog

@@ -1,0 +1,33 @@
+#ifndef PLANORDER_DATALOG_PARSER_H_
+#define PLANORDER_DATALOG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/conjunctive_query.h"
+
+namespace planorder::datalog {
+
+/// Parses textual datalog in Prolog-ish syntax:
+///
+///   Q(M,R) :- play-in(ford,M), review-of(R,M).
+///
+/// Tokens starting with an uppercase letter are variables; tokens starting
+/// with a lowercase letter or digit are constants; single-quoted strings are
+/// constants ('Harrison Ford'). Predicate and constant names may contain
+/// letters, digits, '_' and '-'. '%' starts a comment running to end of line.
+
+/// Parses a single atom, e.g. "play-in(ford, M)".
+StatusOr<Atom> ParseAtom(std::string_view text);
+
+/// Parses a single rule "head :- a1, ..., am" (trailing '.' optional). A bare
+/// atom parses as a fact: a rule with empty body.
+StatusOr<ConjunctiveQuery> ParseRule(std::string_view text);
+
+/// Parses a whole program: rules/facts separated by '.'.
+StatusOr<std::vector<ConjunctiveQuery>> ParseProgram(std::string_view text);
+
+}  // namespace planorder::datalog
+
+#endif  // PLANORDER_DATALOG_PARSER_H_

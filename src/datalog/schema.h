@@ -1,0 +1,53 @@
+#ifndef PLANORDER_DATALOG_SCHEMA_H_
+#define PLANORDER_DATALOG_SCHEMA_H_
+
+#include <map>
+#include <string>
+
+#include "base/status.h"
+
+namespace planorder::datalog {
+
+/// The mediated (virtual) schema of the integration domain: a set of relation
+/// names with arities. User queries and source descriptions are formulated
+/// over these relations.
+class MediatedSchema {
+ public:
+  /// Registers a relation. Re-adding with the same arity is a no-op;
+  /// conflicting arity is an error.
+  Status AddRelation(const std::string& name, size_t arity);
+
+  bool HasRelation(const std::string& name) const {
+    return arities_.contains(name);
+  }
+
+  /// Arity of `name`, or NotFound.
+  StatusOr<size_t> ArityOf(const std::string& name) const;
+
+  const std::map<std::string, size_t>& relations() const { return arities_; }
+
+ private:
+  std::map<std::string, size_t> arities_;
+};
+
+inline Status MediatedSchema::AddRelation(const std::string& name,
+                                          size_t arity) {
+  auto [it, inserted] = arities_.emplace(name, arity);
+  if (!inserted && it->second != arity) {
+    return InvalidArgumentError("relation '" + name +
+                                "' re-declared with different arity");
+  }
+  return OkStatus();
+}
+
+inline StatusOr<size_t> MediatedSchema::ArityOf(const std::string& name) const {
+  auto it = arities_.find(name);
+  if (it == arities_.end()) {
+    return Status(StatusCode::kNotFound, "unknown relation '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace planorder::datalog
+
+#endif  // PLANORDER_DATALOG_SCHEMA_H_

@@ -1,0 +1,70 @@
+#include "datalog/source.h"
+
+#include "datalog/builtins.h"
+#include "datalog/parser.h"
+
+namespace planorder::datalog {
+
+StatusOr<SourceId> Catalog::AddSource(SourceDescription description) {
+  if (description.view.head.predicate != description.name) {
+    return InvalidArgumentError("source '" + description.name +
+                                "' view head predicate is '" +
+                                description.view.head.predicate + "'");
+  }
+  PLANORDER_RETURN_IF_ERROR(description.view.ValidateSafety());
+  size_t relational_atoms = 0;
+  for (const Atom& atom : description.view.body) {
+    if (!IsComparisonAtom(atom)) ++relational_atoms;
+  }
+  if (relational_atoms == 0) {
+    return InvalidArgumentError("source '" + description.name +
+                                "' has no relational atoms in its view");
+  }
+  for (const Atom& atom : description.view.body) {
+    if (IsComparisonAtom(atom)) continue;  // interpreted, not in the schema
+    PLANORDER_ASSIGN_OR_RETURN(size_t arity, schema_.ArityOf(atom.predicate));
+    if (arity != atom.arity()) {
+      return InvalidArgumentError(
+          "source '" + description.name + "' uses relation '" +
+          atom.predicate + "' with arity " + std::to_string(atom.arity()) +
+          " but the schema declares arity " + std::to_string(arity));
+    }
+  }
+  for (const SourceDescription& existing : sources_) {
+    if (existing.name == description.name) {
+      return InvalidArgumentError("source '" + description.name +
+                                  "' registered twice");
+    }
+  }
+  sources_.push_back(std::move(description));
+  return static_cast<SourceId>(sources_.size() - 1);
+}
+
+Status Catalog::SetBindingPattern(SourceId id, std::string pattern) {
+  if (id < 0 || id >= num_sources()) {
+    return InvalidArgumentError("unknown source id");
+  }
+  SourceDescription& source = sources_[static_cast<size_t>(id)];
+  if (pattern.size() != source.view.head.arity()) {
+    return InvalidArgumentError("binding pattern '" + pattern +
+                                "' does not match the arity of '" +
+                                source.name + "'");
+  }
+  for (char c : pattern) {
+    if (c != 'b' && c != 'f') {
+      return InvalidArgumentError("binding patterns use only 'b' and 'f'");
+    }
+  }
+  source.binding_pattern = std::move(pattern);
+  return OkStatus();
+}
+
+StatusOr<SourceId> Catalog::AddSourceFromText(std::string_view text) {
+  PLANORDER_ASSIGN_OR_RETURN(ConjunctiveQuery view, ParseRule(text));
+  SourceDescription description;
+  description.name = view.head.predicate;
+  description.view = std::move(view);
+  return AddSource(std::move(description));
+}
+
+}  // namespace planorder::datalog

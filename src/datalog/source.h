@@ -1,0 +1,69 @@
+#ifndef PLANORDER_DATALOG_SOURCE_H_
+#define PLANORDER_DATALOG_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/conjunctive_query.h"
+#include "datalog/schema.h"
+
+namespace planorder::datalog {
+
+/// Index of a source in a Catalog.
+using SourceId = int;
+
+/// A data source described local-as-view: the source relation's contents are
+/// (a subset of) the tuples satisfying a conjunction of mediated-schema
+/// relations, e.g.  V1(A,M) :- play-in(A,M), american(M).
+struct SourceDescription {
+  /// The source relation name (the view's head predicate).
+  std::string name;
+  /// The view definition; head predicate must equal `name`.
+  ConjunctiveQuery view;
+  /// Access-pattern adornment, one character per head argument: 'b' marks a
+  /// position the caller MUST bind when accessing the source (a web form
+  /// that needs the actor name before returning movies), 'f' a free output
+  /// position. Empty means all-free. Execution must order a plan's atoms so
+  /// every 'b' position is bound by constants or earlier atoms — see
+  /// reformulation::FindExecutableOrder.
+  std::string binding_pattern;
+
+  /// True when head position `i` requires a binding.
+  bool RequiresBound(size_t i) const {
+    return i < binding_pattern.size() && binding_pattern[i] == 'b';
+  }
+};
+
+/// The mediator's catalog: the mediated schema plus all registered sources.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  MediatedSchema& schema() { return schema_; }
+  const MediatedSchema& schema() const { return schema_; }
+
+  /// Registers a source; validates that the view is safe, its head predicate
+  /// matches `description.name`, and its body only uses schema relations.
+  /// Returns the new source's id.
+  StatusOr<SourceId> AddSource(SourceDescription description);
+
+  /// Parses "V1(A,M) :- play-in(A,M), american(M)" and registers it.
+  StatusOr<SourceId> AddSourceFromText(std::string_view text);
+
+  /// Sets the access-pattern adornment of an existing source ('b'/'f' per
+  /// head argument).
+  Status SetBindingPattern(SourceId id, std::string pattern);
+
+  const SourceDescription& source(SourceId id) const { return sources_[id]; }
+  int num_sources() const { return static_cast<int>(sources_.size()); }
+  const std::vector<SourceDescription>& sources() const { return sources_; }
+
+ private:
+  MediatedSchema schema_;
+  std::vector<SourceDescription> sources_;
+};
+
+}  // namespace planorder::datalog
+
+#endif  // PLANORDER_DATALOG_SOURCE_H_

@@ -1,0 +1,80 @@
+#include "datalog/term.h"
+
+#include <cctype>
+#include <utility>
+
+namespace planorder::datalog {
+namespace {
+
+bool NeedsQuoting(const std::string& name) {
+  if (name.empty()) return true;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Term Term::Variable(std::string name) {
+  Term t;
+  t.kind_ = Kind::kVariable;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Term Term::Constant(std::string name) {
+  Term t;
+  t.kind_ = Kind::kConstant;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Term Term::Function(std::string name, std::vector<Term> args) {
+  Term t;
+  t.kind_ = Kind::kFunction;
+  t.name_ = std::move(name);
+  t.args_ = std::move(args);
+  return t;
+}
+
+bool Term::IsGround() const {
+  if (is_variable()) return false;
+  for (const Term& arg : args_) {
+    if (!arg.IsGround()) return false;
+  }
+  return true;
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return name_;
+    case Kind::kConstant:
+      if (NeedsQuoting(name_)) return "'" + name_ + "'";
+      return name_;
+    case Kind::kFunction: {
+      std::string out = name_ + "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += args_[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "";
+}
+
+void Term::HashInto(size_t& seed) const {
+  auto mix = [&seed](size_t v) {
+    seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  };
+  mix(static_cast<size_t>(kind_));
+  mix(std::hash<std::string>()(name_));
+  for (const Term& arg : args_) arg.HashInto(seed);
+}
+
+}  // namespace planorder::datalog

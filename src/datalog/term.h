@@ -1,0 +1,80 @@
+#ifndef PLANORDER_DATALOG_TERM_H_
+#define PLANORDER_DATALOG_TERM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace planorder::datalog {
+
+/// A datalog term: a variable, a constant, or a function term. Function
+/// terms only arise as the Skolem functions the inverse-rule reformulation
+/// algorithm introduces (Section 7 of the paper); parsed user queries and
+/// source descriptions contain only variables and constants.
+class Term {
+ public:
+  enum class Kind { kVariable, kConstant, kFunction };
+
+  /// Default-constructed terms are the constant "" (useful for containers).
+  Term() : kind_(Kind::kConstant) {}
+
+  static Term Variable(std::string name);
+  static Term Constant(std::string name);
+  static Term Function(std::string name, std::vector<Term> args);
+
+  Kind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+  bool is_function() const { return kind_ == Kind::kFunction; }
+
+  /// True when the term contains no variables.
+  bool IsGround() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<Term>& args() const { return args_; }
+
+  /// Prolog-ish rendering: variables as-is, constants as-is (quoted when they
+  /// contain non-identifier characters), functions as f(a,b).
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.name_ == b.name_ && a.args_ == b.args_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+  /// Total order (kind, name, args) so terms can key ordered containers.
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    if (a.name_ != b.name_) return a.name_ < b.name_;
+    return a.args_ < b.args_;
+  }
+
+  /// Combines into `seed` a hash of this term (FNV-style mixing).
+  void HashInto(size_t& seed) const;
+
+ private:
+  Kind kind_;
+  std::string name_;
+  std::vector<Term> args_;
+};
+
+/// Hash functor usable with unordered containers of terms or tuples of terms.
+struct TermHash {
+  size_t operator()(const Term& term) const {
+    size_t seed = 0x9e3779b97f4a7c15ull;
+    term.HashInto(seed);
+    return seed;
+  }
+};
+
+struct TermVectorHash {
+  size_t operator()(const std::vector<Term>& terms) const {
+    size_t seed = 0x9e3779b97f4a7c15ull;
+    for (const Term& t : terms) t.HashInto(seed);
+    return seed;
+  }
+};
+
+}  // namespace planorder::datalog
+
+#endif  // PLANORDER_DATALOG_TERM_H_

@@ -1,0 +1,118 @@
+#include "datalog/unify.h"
+
+namespace planorder::datalog {
+namespace {
+
+/// Follows variable bindings until reaching a non-variable term or an
+/// unbound variable.
+const Term& Walk(const Term& term, const Substitution& subst) {
+  const Term* current = &term;
+  while (current->is_variable()) {
+    auto it = subst.find(current->name());
+    if (it == subst.end()) break;
+    current = &it->second;
+  }
+  return *current;
+}
+
+bool OccursIn(const std::string& var, const Term& term,
+              const Substitution& subst) {
+  const Term& walked = Walk(term, subst);
+  if (walked.is_variable()) return walked.name() == var;
+  for (const Term& arg : walked.args()) {
+    if (OccursIn(var, arg, subst)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Term ApplySubstitution(const Term& term, const Substitution& subst) {
+  const Term& walked = Walk(term, subst);
+  if (walked.is_function()) {
+    std::vector<Term> args;
+    args.reserve(walked.args().size());
+    for (const Term& arg : walked.args()) {
+      args.push_back(ApplySubstitution(arg, subst));
+    }
+    return Term::Function(walked.name(), std::move(args));
+  }
+  return walked;
+}
+
+Atom ApplySubstitution(const Atom& atom, const Substitution& subst) {
+  Atom out;
+  out.predicate = atom.predicate;
+  out.args.reserve(atom.args.size());
+  for (const Term& t : atom.args) out.args.push_back(ApplySubstitution(t, subst));
+  return out;
+}
+
+bool UnifyTerms(const Term& a, const Term& b, Substitution& subst) {
+  const Term wa = Walk(a, subst);
+  const Term wb = Walk(b, subst);
+  if (wa.is_variable() && wb.is_variable() && wa.name() == wb.name()) {
+    return true;
+  }
+  if (wa.is_variable()) {
+    if (OccursIn(wa.name(), wb, subst)) return false;
+    subst[wa.name()] = wb;
+    return true;
+  }
+  if (wb.is_variable()) {
+    if (OccursIn(wb.name(), wa, subst)) return false;
+    subst[wb.name()] = wa;
+    return true;
+  }
+  if (wa.kind() != wb.kind() || wa.name() != wb.name() ||
+      wa.args().size() != wb.args().size()) {
+    return false;
+  }
+  for (size_t i = 0; i < wa.args().size(); ++i) {
+    if (!UnifyTerms(wa.args()[i], wb.args()[i], subst)) return false;
+  }
+  return true;
+}
+
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution& subst) {
+  if (a.predicate != b.predicate || a.args.size() != b.args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (!UnifyTerms(a.args[i], b.args[i], subst)) return false;
+  }
+  return true;
+}
+
+bool MatchTerm(const Term& pattern, const Term& target, Substitution& subst) {
+  // The target side is frozen: its variables are opaque symbols, never bound.
+  // A pattern variable already bound must therefore be *equal* to the target,
+  // not unified with it.
+  if (pattern.is_variable()) {
+    auto it = subst.find(pattern.name());
+    if (it != subst.end()) return it->second == target;
+    subst[pattern.name()] = target;
+    return true;
+  }
+  if (pattern.kind() != target.kind() || pattern.name() != target.name() ||
+      pattern.args().size() != target.args().size()) {
+    return false;
+  }
+  for (size_t i = 0; i < pattern.args().size(); ++i) {
+    if (!MatchTerm(pattern.args()[i], target.args()[i], subst)) return false;
+  }
+  return true;
+}
+
+bool MatchAtom(const Atom& pattern, const Atom& target, Substitution& subst) {
+  if (pattern.predicate != target.predicate ||
+      pattern.args.size() != target.args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    if (!MatchTerm(pattern.args[i], target.args[i], subst)) return false;
+  }
+  return true;
+}
+
+}  // namespace planorder::datalog

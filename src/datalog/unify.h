@@ -1,0 +1,42 @@
+#ifndef PLANORDER_DATALOG_UNIFY_H_
+#define PLANORDER_DATALOG_UNIFY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "datalog/atom.h"
+#include "datalog/term.h"
+
+namespace planorder::datalog {
+
+/// A substitution: variable name -> term. Bindings may map to terms that
+/// themselves contain variables; Apply* resolve bindings transitively.
+using Substitution = std::map<std::string, Term>;
+
+/// Applies `subst` to `term`, replacing bound variables (transitively).
+Term ApplySubstitution(const Term& term, const Substitution& subst);
+
+/// Applies `subst` to every argument of `atom`.
+Atom ApplySubstitution(const Atom& atom, const Substitution& subst);
+
+/// Extends `subst` so that ApplySubstitution(a) == ApplySubstitution(b), or
+/// returns false leaving `subst` in an unspecified (possibly extended) state.
+/// Callers that need rollback should copy the substitution first. Performs
+/// the occurs check, so unification of cyclic bindings fails rather than
+/// looping.
+bool UnifyTerms(const Term& a, const Term& b, Substitution& subst);
+
+/// Unifies two atoms (same predicate and arity, then argumentwise).
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution& subst);
+
+/// One-directional unification: extends `subst` binding only variables of
+/// `pattern` so that the instantiated pattern equals `target`. Variables in
+/// `target` are treated as constants ("frozen"). Used for containment
+/// mappings and for matching rules against (possibly non-ground) atoms.
+bool MatchTerm(const Term& pattern, const Term& target, Substitution& subst);
+bool MatchAtom(const Atom& pattern, const Atom& target, Substitution& subst);
+
+}  // namespace planorder::datalog
+
+#endif  // PLANORDER_DATALOG_UNIFY_H_

@@ -1,0 +1,50 @@
+#ifndef PLANORDER_EXEC_DEPENDENT_JOIN_H_
+#define PLANORDER_EXEC_DEPENDENT_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/conjunctive_query.h"
+#include "exec/source_access.h"
+
+namespace planorder::exec {
+
+/// Per-atom record of a dependent-join execution.
+struct AtomAccess {
+  std::string source;
+  /// Number of source calls (distinct binding combinations fed in).
+  int64_t calls = 0;
+  /// Tuples the source shipped back across those calls.
+  int64_t tuples_shipped = 0;
+};
+
+/// The execution trace of one plan: one entry per body atom, in execution
+/// order. `ModeledCost` prices it exactly the way cost measure (2) prices a
+/// plan — h per call plus alpha per shipped tuple — so traces are directly
+/// comparable against the utility model's estimate.
+struct ExecutionTrace {
+  std::vector<AtomAccess> atoms;
+
+  int64_t TotalCalls() const;
+  int64_t TotalTuplesShipped() const;
+  /// sum over atoms of (calls * access_overhead + tuples * alpha(atom)).
+  double ModeledCost(double access_overhead,
+                     const std::vector<double>& alpha_per_atom) const;
+};
+
+/// Executes a rewriting p(Y) :- V1(U1), ..., Vn(Un) against the registry by
+/// left-to-right *dependent joins*, the strategy cost measure (2) models:
+/// atom 1 is fetched with its constant bindings, every later atom is called
+/// once per distinct combination of values flowing in from the prefix (the
+/// semi-join "feed the titles into V_j"). Returns the distinct head tuples
+/// and, optionally, the access trace.
+///
+/// The rewriting must be safe and every body predicate registered.
+StatusOr<std::vector<std::vector<datalog::Term>>> ExecutePlanDependent(
+    const datalog::ConjunctiveQuery& rewriting, SourceRegistry& sources,
+    ExecutionTrace* trace = nullptr);
+
+}  // namespace planorder::exec
+
+#endif  // PLANORDER_EXEC_DEPENDENT_JOIN_H_

@@ -1,0 +1,98 @@
+#include "exec/mediator.h"
+
+#include "exec/dependent_join.h"
+
+#include "reformulation/executable_order.h"
+#include "reformulation/rewriting.h"
+
+namespace planorder::exec {
+
+StatusOr<MediatorResult> Mediator::Run(core::Orderer& orderer, int max_plans,
+                                       SourceRegistry* registry) {
+  RunLimits limits;
+  limits.max_plans = max_plans;
+  return Run(orderer, limits, registry);
+}
+
+StatusOr<MediatorResult> Mediator::Run(core::Orderer& orderer,
+                                       const RunLimits& limits,
+                                       SourceRegistry* registry) {
+  if (limits.max_plans <= 0) {
+    return InvalidArgumentError("max_plans must be positive");
+  }
+  MediatorResult result;
+  double estimated_cost_spent = 0.0;
+  std::unordered_set<std::vector<datalog::Term>, datalog::TermVectorHash>
+      answers;
+  for (int i = 0; i < limits.max_plans; ++i) {
+    auto next = orderer.Next();
+    if (!next.ok()) {
+      if (next.status().code() == StatusCode::kNotFound) break;
+      return next.status();
+    }
+    MediatorStep step;
+    step.plan = next->plan;
+    step.estimated_utility = next->utility;
+
+    // Translate bucket indices to catalog source ids and build the sound
+    // rewriting, if any.
+    std::vector<datalog::SourceId> choice(step.plan.size());
+    for (size_t b = 0; b < step.plan.size(); ++b) {
+      choice[b] = source_ids_[b][step.plan[b]];
+    }
+    PLANORDER_ASSIGN_OR_RETURN(
+        std::optional<reformulation::QueryPlan> plan,
+        reformulation::BuildSoundPlan(query_, *catalog_, choice));
+    if (!plan.has_value()) {
+      step.sound = false;
+      orderer.ReportDiscarded();
+    } else {
+      step.sound = true;
+      ++result.sound_plans;
+      // Respect source access patterns: reorder atoms into an executable
+      // order; a sound plan with none is discarded like an unsound one.
+      auto ordered = reformulation::FindExecutableOrder(*plan, *catalog_);
+      if (!ordered.ok()) {
+        if (ordered.status().code() != StatusCode::kFailedPrecondition) {
+          return ordered.status();
+        }
+        step.executable = false;
+        orderer.ReportDiscarded();
+      } else {
+        std::vector<std::vector<datalog::Term>> tuples;
+        if (registry != nullptr) {
+          ExecutionTrace trace;
+          PLANORDER_ASSIGN_OR_RETURN(
+              tuples,
+              ExecutePlanDependent(ordered->rewriting, *registry, &trace));
+          result.source_calls += trace.TotalCalls();
+          result.tuples_shipped += trace.TotalTuplesShipped();
+        } else {
+          PLANORDER_ASSIGN_OR_RETURN(
+              tuples,
+              datalog::EvaluateQuery(ordered->rewriting, *source_facts_));
+        }
+        step.answers_from_plan = tuples.size();
+        for (std::vector<datalog::Term>& tuple : tuples) {
+          if (answers.insert(std::move(tuple)).second) ++step.new_answers;
+        }
+      }
+    }
+    step.total_answers = answers.size();
+    if (step.sound && step.executable) {
+      estimated_cost_spent -= step.estimated_utility;
+    }
+    result.steps.push_back(std::move(step));
+    if (limits.answer_target > 0 && answers.size() >= limits.answer_target) {
+      break;
+    }
+    if (limits.cost_budget > 0.0 &&
+        estimated_cost_spent >= limits.cost_budget) {
+      break;
+    }
+  }
+  result.total_answers = answers.size();
+  return result;
+}
+
+}  // namespace planorder::exec

@@ -1,0 +1,93 @@
+#ifndef PLANORDER_EXEC_MEDIATOR_H_
+#define PLANORDER_EXEC_MEDIATOR_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "core/orderer.h"
+#include "datalog/evaluator.h"
+#include "datalog/source.h"
+#include "exec/source_access.h"
+
+namespace planorder::exec {
+
+/// One pipeline step of the mediator: a plan emitted by the orderer.
+struct MediatorStep {
+  utility::ConcretePlan plan;   // bucket-index form
+  double estimated_utility = 0.0;
+  bool sound = false;
+  /// False when the plan is sound but admits no executable atom order under
+  /// the sources' access patterns (it is then discarded like an unsound
+  /// plan).
+  bool executable = true;
+  size_t answers_from_plan = 0;  // answers the plan returned (sound plans)
+  size_t new_answers = 0;        // of which previously unseen
+  size_t total_answers = 0;      // cumulative distinct answers so far
+};
+
+struct MediatorResult {
+  std::vector<MediatorStep> steps;
+  size_t total_answers = 0;
+  size_t sound_plans = 0;
+  /// Populated by the access-pattern execution path: total source calls and
+  /// shipped tuples across all executed plans.
+  int64_t source_calls = 0;
+  int64_t tuples_shipped = 0;
+};
+
+/// The full pipeline of Section 2: pull plans from an ordering algorithm in
+/// decreasing-utility order, build the rewriting and test soundness, discard
+/// unsound plans (reporting the discard to the orderer so they do not
+/// condition later utilities), execute sound plans against the source facts,
+/// and accumulate the union of their answers.
+class Mediator {
+ public:
+  /// `source_ids[b][i]` is the catalog SourceId behind workload bucket b,
+  /// index i (the orderer speaks bucket-index; the catalog speaks SourceId).
+  /// All referenced objects must outlive the mediator.
+  Mediator(const datalog::Catalog* catalog, datalog::ConjunctiveQuery query,
+           const datalog::Database* source_facts,
+           std::vector<std::vector<datalog::SourceId>> source_ids)
+      : catalog_(catalog),
+        query_(std::move(query)),
+        source_facts_(source_facts),
+        source_ids_(std::move(source_ids)) {}
+
+  /// Stopping criteria for a mediation run (Section 1: "query execution can
+  /// be aborted as soon as the user has found a satisfactory answer, or when
+  /// allotted resource limits have been reached"). Whichever limit trips
+  /// first ends the run; zero/negative values mean "no limit" except
+  /// max_plans, which must be positive.
+  struct RunLimits {
+    int max_plans = 0;
+    /// Stop once this many distinct answers have been collected.
+    size_t answer_target = 0;
+    /// Stop once the accumulated *estimated* plan cost (the negated utility
+    /// of the executed plans, meaningful for cost measures) exceeds this.
+    double cost_budget = 0.0;
+  };
+
+  /// Pulls up to `max_plans` plans from `orderer` and runs the pipeline.
+  /// Stops early when the orderer is exhausted. With a non-null `registry`
+  /// plans execute by dependent joins against the binding-pattern sources
+  /// (every body predicate must be registered) and the result carries the
+  /// access accounting; otherwise they evaluate set-oriented against the
+  /// source-facts database.
+  StatusOr<MediatorResult> Run(core::Orderer& orderer, int max_plans,
+                               SourceRegistry* registry = nullptr);
+
+  /// As above with full stopping criteria.
+  StatusOr<MediatorResult> Run(core::Orderer& orderer, const RunLimits& limits,
+                               SourceRegistry* registry = nullptr);
+
+ private:
+  const datalog::Catalog* catalog_;
+  datalog::ConjunctiveQuery query_;
+  const datalog::Database* source_facts_;
+  std::vector<std::vector<datalog::SourceId>> source_ids_;
+};
+
+}  // namespace planorder::exec
+
+#endif  // PLANORDER_EXEC_MEDIATOR_H_

@@ -1,0 +1,109 @@
+#ifndef PLANORDER_EXEC_SOURCE_ACCESS_H_
+#define PLANORDER_EXEC_SOURCE_ACCESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/term.h"
+
+namespace planorder::exec {
+
+/// Accounting for calls against one source: how often it was contacted and
+/// how many tuples it shipped back. These are exactly the quantities cost
+/// measure (2) estimates — h per call, alpha per shipped item — so a plan's
+/// trace can be compared against its modeled cost (see dependent_join.h).
+struct AccessStats {
+  int64_t calls = 0;
+  int64_t tuples_shipped = 0;
+};
+
+/// A queryable data source holding ground tuples, accessed by *binding
+/// pattern*: the caller fixes values for some argument positions and the
+/// source returns the matching tuples. Mirrors how a mediator actually
+/// talks to autonomous sources ("give me the movies starring Ford") rather
+/// than bulk-copying relations. Point lookups are served from hash indexes
+/// built lazily per bound-position set.
+class AccessibleSource {
+ public:
+  AccessibleSource(std::string name, size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+
+  /// Access-pattern adornment ('b'/'f' per position; empty = all free).
+  /// Mirrors datalog::SourceDescription::binding_pattern for enforcement at
+  /// the access layer.
+  Status set_binding_pattern(std::string pattern);
+  const std::string& binding_pattern() const { return binding_pattern_; }
+
+  /// OK when `bindings` covers every position the adornment requires.
+  Status ValidateBindings(const std::map<int, datalog::Term>& bindings) const;
+
+  /// Adds a ground tuple (checked). Duplicates are kept out.
+  Status Add(std::vector<datalog::Term> tuple);
+
+  /// One access: returns the tuples matching `bindings` (position -> value;
+  /// empty means a full scan) and records the call in `stats_`.
+  const std::vector<std::vector<datalog::Term>>& Fetch(
+      const std::map<int, datalog::Term>& bindings);
+
+  /// One *batched* access: ships all binding combinations at once (the
+  /// semi-join of cost measure (2): "feed the titles into V_j") and returns
+  /// the union of the matches, deduplicated. Counts as a single call; the
+  /// shipped count is the union's size. All combinations must bind the same
+  /// position set. An empty batch is a no-op returning nothing.
+  std::vector<std::vector<datalog::Term>> FetchBatch(
+      const std::vector<std::map<int, datalog::Term>>& batch);
+
+  const AccessStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = AccessStats{}; }
+
+ private:
+  struct Index {
+    // Key: concatenated ToString of the bound values; value: matching rows.
+    std::unordered_map<std::string, std::vector<std::vector<datalog::Term>>>
+        rows;
+  };
+
+  static std::string KeyFor(const std::vector<int>& positions,
+                            const std::vector<datalog::Term>& tuple);
+  static std::string KeyFor(const std::map<int, datalog::Term>& bindings);
+
+  std::string name_;
+  size_t arity_;
+  std::string binding_pattern_;
+  std::vector<std::vector<datalog::Term>> tuples_;
+  std::unordered_map<std::string, Index> indexes_;  // by position-set key
+  AccessStats stats_;
+  std::vector<std::vector<datalog::Term>> empty_;
+};
+
+/// The mediator's view of the world: one AccessibleSource per source
+/// relation name.
+class SourceRegistry {
+ public:
+  /// Registers a new source; fails on duplicates.
+  StatusOr<AccessibleSource*> Register(std::string name, size_t arity);
+
+  /// Looks a source up, or nullptr.
+  AccessibleSource* Find(const std::string& name);
+  const AccessibleSource* Find(const std::string& name) const;
+
+  void ResetStats();
+
+  /// Total across sources.
+  AccessStats TotalStats() const;
+
+ private:
+  std::map<std::string, AccessibleSource> sources_;
+};
+
+}  // namespace planorder::exec
+
+#endif  // PLANORDER_EXEC_SOURCE_ACCESS_H_

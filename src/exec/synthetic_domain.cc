@@ -1,0 +1,123 @@
+#include "exec/synthetic_domain.h"
+
+#include <algorithm>
+#include <string>
+
+#include "base/rng.h"
+
+namespace planorder::exec {
+
+using datalog::Atom;
+using datalog::ConjunctiveQuery;
+using datalog::Term;
+
+StatusOr<std::unique_ptr<SyntheticDomain>> BuildSyntheticDomain(
+    const stats::WorkloadOptions& workload_options, int num_answers) {
+  if (num_answers < 1) return InvalidArgumentError("num_answers must be >= 1");
+  PLANORDER_ASSIGN_OR_RETURN(stats::Workload generated,
+                             stats::Workload::Generate(workload_options));
+  auto domain = std::make_unique<SyntheticDomain>();
+  const int m = generated.num_buckets();
+
+  // Schema: chain relations p0(X0,X1), ..., p{m-1}(X{m-1},Xm); query joins
+  // them and returns the endpoints.
+  for (int b = 0; b < m; ++b) {
+    PLANORDER_RETURN_IF_ERROR(
+        domain->catalog.schema().AddRelation("p" + std::to_string(b), 2));
+  }
+  domain->query.head.predicate = "q";
+  domain->query.head.args = {Term::Variable("X0"),
+                             Term::Variable("X" + std::to_string(m))};
+  for (int b = 0; b < m; ++b) {
+    domain->query.body.push_back(
+        Atom("p" + std::to_string(b),
+             {Term::Variable("X" + std::to_string(b)),
+              Term::Variable("X" + std::to_string(b + 1))}));
+  }
+
+  // Sources: identity views, one per (bucket, index).
+  domain->source_ids.resize(m);
+  for (int b = 0; b < m; ++b) {
+    for (int i = 0; i < generated.bucket_size(b); ++i) {
+      datalog::SourceDescription description;
+      description.name = "v" + std::to_string(b) + "_" + std::to_string(i);
+      description.view.head =
+          Atom(description.name, {Term::Variable("A"), Term::Variable("B")});
+      description.view.body = {Atom("p" + std::to_string(b),
+                                    {Term::Variable("A"), Term::Variable("B")})};
+      PLANORDER_ASSIGN_OR_RETURN(
+          datalog::SourceId id,
+          domain->catalog.AddSource(std::move(description)));
+      domain->source_ids[b].push_back(id);
+    }
+  }
+
+  // Answers: constants c{a}_{0..m}; each answer draws a region per bucket.
+  Rng rng(workload_options.seed ^ 0x5eed5eedull);
+  std::vector<std::vector<int>> answer_regions(
+      num_answers, std::vector<int>(m, 0));
+  const std::vector<std::vector<double>>& weights = generated.region_weights();
+  for (int a = 0; a < num_answers; ++a) {
+    for (int b = 0; b < m; ++b) {
+      double target = rng.UniformReal(0.0, 1.0);
+      double acc = 0.0;
+      int region = static_cast<int>(weights[b].size()) - 1;
+      for (size_t r = 0; r < weights[b].size(); ++r) {
+        acc += weights[b][r];
+        if (acc >= target) {
+          region = static_cast<int>(r);
+          break;
+        }
+      }
+      answer_regions[a][b] = region;
+    }
+  }
+
+  auto constant = [](int answer, int position) {
+    return Term::Constant("c" + std::to_string(answer) + "_" +
+                          std::to_string(position));
+  };
+
+  for (int b = 0; b < m; ++b) {
+    for (int a = 0; a < num_answers; ++a) {
+      domain->schema_facts.AddFact(
+          Atom("p" + std::to_string(b), {constant(a, b), constant(a, b + 1)}));
+    }
+  }
+
+  std::vector<std::vector<stats::SourceStats>> buckets(m);
+  for (int b = 0; b < m; ++b) {
+    buckets[b].resize(generated.bucket_size(b));
+    for (int i = 0; i < generated.bucket_size(b); ++i) {
+      stats::SourceStats s = generated.source(b, i);
+      int count = 0;
+      for (int a = 0; a < num_answers; ++a) {
+        if (s.regions.bits & (uint64_t{1} << answer_regions[a][b])) {
+          domain->source_facts.AddFact(
+              Atom(domain->catalog.source(domain->source_ids[b][i]).name,
+                   {constant(a, b), constant(a, b + 1)}));
+          ++count;
+        }
+      }
+      // Honest statistics: the cardinality the mediator believes is the
+      // actual materialized count (at least 1 to keep cost formulas sane).
+      s.cardinality = std::max(1, count);
+      buckets[b][i] = s;
+    }
+  }
+
+  std::vector<double> domain_sizes(m);
+  for (int b = 0; b < m; ++b) {
+    domain_sizes[b] = std::max(1.0, double(num_answers)) *
+                      workload_options.domain_size_factor;
+  }
+  PLANORDER_ASSIGN_OR_RETURN(
+      domain->workload,
+      stats::Workload::FromParts(std::move(buckets), generated.region_weights(),
+                                 generated.access_overhead(),
+                                 std::move(domain_sizes)));
+  domain->num_answers = static_cast<size_t>(num_answers);
+  return domain;
+}
+
+}  // namespace planorder::exec

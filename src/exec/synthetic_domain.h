@@ -1,0 +1,50 @@
+#ifndef PLANORDER_EXEC_SYNTHETIC_DOMAIN_H_
+#define PLANORDER_EXEC_SYNTHETIC_DOMAIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/evaluator.h"
+#include "datalog/source.h"
+#include "stats/workload.h"
+
+namespace planorder::exec {
+
+/// A fully materialized synthetic integration domain: a chain query
+/// Q(X0,Xm) :- p0(X0,X1), ..., p{m-1}(X{m-1},Xm), one source per
+/// (bucket, index) of the workload with the identity view over its subgoal's
+/// relation, and source instances generated answer-first so that the
+/// workload's coverage model is exact:
+///
+/// each of `num_answers` ground query answers draws one region per bucket
+/// (by the bucket's region weights); source (b, i) materializes the subgoal-b
+/// atom of exactly the answers whose region at b falls in its mask. A plan's
+/// real result set is then precisely the answers inside its coverage box, so
+/// estimated coverage equals expected actual coverage — the property the
+/// integration tests and the mediator demo verify.
+struct SyntheticDomain {
+  datalog::Catalog catalog;
+  datalog::ConjunctiveQuery query;
+  /// Statistics aligned with `catalog`: workload bucket b, index i describes
+  /// the source with id source_ids[b][i]. Cardinalities are the actual
+  /// materialized tuple counts.
+  stats::Workload workload;
+  std::vector<std::vector<datalog::SourceId>> source_ids;
+  /// Facts over the source relations (what the mediator can access).
+  datalog::Database source_facts;
+  /// Ground truth over the schema relations (for cross-checks only).
+  datalog::Database schema_facts;
+  /// All query answers in the ground truth.
+  size_t num_answers = 0;
+};
+
+/// Builds a synthetic domain. `workload_options` controls buckets, regions,
+/// overlap and statistics; `num_answers` the size of the materialized ground
+/// truth.
+StatusOr<std::unique_ptr<SyntheticDomain>> BuildSyntheticDomain(
+    const stats::WorkloadOptions& workload_options, int num_answers);
+
+}  // namespace planorder::exec
+
+#endif  // PLANORDER_EXEC_SYNTHETIC_DOMAIN_H_

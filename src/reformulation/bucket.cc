@@ -1,0 +1,84 @@
+#include "reformulation/bucket.h"
+
+#include "datalog/builtins.h"
+#include "datalog/unify.h"
+
+namespace planorder::reformulation {
+
+using datalog::Atom;
+using datalog::ConjunctiveQuery;
+using datalog::Substitution;
+using datalog::Term;
+
+namespace {
+
+/// True when `source_view` (renamed apart) can serve subgoal `goal` of
+/// `query` through one of its body atoms.
+bool IsRelevant(const ConjunctiveQuery& query, const Atom& goal,
+                const ConjunctiveQuery& source_view) {
+  const std::set<std::string> query_distinguished = query.HeadVariables();
+  const std::set<std::string> view_distinguished =
+      source_view.HeadVariables();
+  for (const Atom& atom : source_view.body) {
+    if (atom.predicate != goal.predicate ||
+        atom.args.size() != goal.args.size()) {
+      continue;
+    }
+    Substitution subst;
+    if (!UnifyAtoms(goal, atom, subst)) continue;
+    // Check retrievability: a distinguished query variable (or a constant)
+    // in the subgoal must not land on an existential view variable.
+    bool ok = true;
+    for (size_t i = 0; i < goal.args.size() && ok; ++i) {
+      const Term& query_arg = goal.args[i];
+      const Term resolved = datalog::ApplySubstitution(query_arg, subst);
+      const bool needs_distinguished =
+          query_arg.is_constant() ||
+          (query_arg.is_variable() &&
+           query_distinguished.contains(query_arg.name()));
+      if (!needs_distinguished) continue;
+      if (resolved.is_variable() &&
+          !view_distinguished.contains(resolved.name())) {
+        ok = false;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<BucketResult> BuildBuckets(const ConjunctiveQuery& query,
+                                    const datalog::Catalog& catalog) {
+  PLANORDER_RETURN_IF_ERROR(query.ValidateSafety());
+  for (const Atom& goal : query.body) {
+    if (datalog::IsComparisonAtom(goal)) continue;
+    PLANORDER_ASSIGN_OR_RETURN(size_t arity,
+                               catalog.schema().ArityOf(goal.predicate));
+    if (arity != goal.arity()) {
+      return InvalidArgumentError("subgoal " + goal.ToString() +
+                                  " arity mismatch with schema");
+    }
+  }
+  BucketResult result;
+  // Buckets exist for the RELATIONAL subgoals only; interpreted comparisons
+  // are constraints carried into the rewritings, not subgoals served by
+  // sources.
+  for (const Atom& goal : query.body) {
+    if (datalog::IsComparisonAtom(goal)) continue;
+    std::vector<datalog::SourceId> bucket;
+    for (datalog::SourceId id = 0; id < catalog.num_sources(); ++id) {
+      // Rename the view apart from the query before unification.
+      const ConjunctiveQuery view =
+          catalog.source(id).view.RenameVariables("_v");
+      if (IsRelevant(query, goal, view)) {
+        bucket.push_back(id);
+      }
+    }
+    result.buckets.push_back(std::move(bucket));
+  }
+  return result;
+}
+
+}  // namespace planorder::reformulation

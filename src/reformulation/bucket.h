@@ -1,0 +1,33 @@
+#ifndef PLANORDER_REFORMULATION_BUCKET_H_
+#define PLANORDER_REFORMULATION_BUCKET_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/conjunctive_query.h"
+#include "datalog/source.h"
+
+namespace planorder::reformulation {
+
+/// Buckets for a query: buckets[i] lists the sources relevant to the i-th
+/// subgoal. The Cartesian product of the buckets is the plan space handed to
+/// the ordering algorithms; plans coming out of the ordering are then tested
+/// for soundness (Section 2).
+struct BucketResult {
+  std::vector<std::vector<datalog::SourceId>> buckets;
+};
+
+/// The bucket algorithm's relevance test (Levy-Rajaraman-Ordille): source V
+/// belongs in subgoal g's bucket iff some atom of V's view definition
+/// unifies with g such that
+///  - constants of g are matched consistently, and
+///  - every distinguished variable of the *query* occurring in g maps to a
+///    distinguished variable of the view (otherwise its value cannot be
+///    retrieved from the source).
+/// Returns NotFound-free result; empty buckets mean the query has no plans.
+StatusOr<BucketResult> BuildBuckets(const datalog::ConjunctiveQuery& query,
+                                    const datalog::Catalog& catalog);
+
+}  // namespace planorder::reformulation
+
+#endif  // PLANORDER_REFORMULATION_BUCKET_H_

@@ -1,0 +1,89 @@
+#include "reformulation/executable_order.h"
+
+#include <set>
+#include <string>
+
+#include "datalog/builtins.h"
+
+namespace planorder::reformulation {
+
+using datalog::Atom;
+using datalog::Term;
+
+StatusOr<QueryPlan> FindExecutableOrder(const QueryPlan& plan,
+                                        const datalog::Catalog& catalog) {
+  // Pair every relational atom with its source id; comparisons carry -1.
+  struct Entry {
+    const Atom* atom;
+    datalog::SourceId source;  // -1 for comparisons
+  };
+  std::vector<Entry> entries;
+  size_t next_source = 0;
+  for (const Atom& atom : plan.rewriting.body) {
+    if (datalog::IsComparisonAtom(atom)) {
+      entries.push_back({&atom, -1});
+      continue;
+    }
+    if (next_source >= plan.sources.size()) {
+      return InvalidArgumentError("plan body and source list must align");
+    }
+    entries.push_back({&atom, plan.sources[next_source++]});
+  }
+  if (next_source != plan.sources.size()) {
+    return InvalidArgumentError("plan body and source list must align");
+  }
+
+  std::set<std::string> bound;
+  std::vector<bool> placed(entries.size(), false);
+  QueryPlan ordered;
+  ordered.rewriting.head = plan.rewriting.head;
+
+  auto is_bound = [&](const Term& term) {
+    if (term.is_constant()) return true;
+    return term.is_variable() && bound.contains(term.name());
+  };
+
+  for (size_t step = 0; step < entries.size(); ++step) {
+    // Bound comparisons run first (free filtering), then the first
+    // executable source atom.
+    int pick = -1;
+    for (size_t i = 0; i < entries.size() && pick < 0; ++i) {
+      if (placed[i] || entries[i].source >= 0) continue;
+      bool ready = true;
+      for (const Term& arg : entries[i].atom->args) {
+        if (!is_bound(arg)) ready = false;
+      }
+      if (ready) pick = static_cast<int>(i);
+    }
+    for (size_t i = 0; i < entries.size() && pick < 0; ++i) {
+      if (placed[i] || entries[i].source < 0) continue;
+      const datalog::SourceDescription& source =
+          catalog.source(entries[i].source);
+      bool ready = true;
+      for (size_t pos = 0; pos < entries[i].atom->args.size(); ++pos) {
+        if (source.RequiresBound(pos) &&
+            !is_bound(entries[i].atom->args[pos])) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) pick = static_cast<int>(i);
+    }
+    if (pick < 0) {
+      return FailedPreconditionError(
+          "no executable order: every remaining source requires a binding "
+          "no placed atom produces (plan " +
+          plan.rewriting.ToString() + ")");
+    }
+    placed[static_cast<size_t>(pick)] = true;
+    const Entry& chosen = entries[static_cast<size_t>(pick)];
+    ordered.rewriting.body.push_back(*chosen.atom);
+    if (chosen.source >= 0) ordered.sources.push_back(chosen.source);
+    std::set<std::string> vars;
+    chosen.atom->CollectVariables(vars);
+    bound.insert(vars.begin(), vars.end());
+  }
+  return ordered;
+}
+
+}  // namespace planorder::reformulation

@@ -1,0 +1,26 @@
+#ifndef PLANORDER_REFORMULATION_EXECUTABLE_ORDER_H_
+#define PLANORDER_REFORMULATION_EXECUTABLE_ORDER_H_
+
+#include "base/status.h"
+#include "reformulation/rewriting.h"
+
+namespace planorder::reformulation {
+
+/// Orders the atoms of a rewriting so that it is *executable* against
+/// sources with limited access patterns: every source atom is placed only
+/// once the positions its adornment marks 'b' are bound — by constants or by
+/// variables produced by earlier atoms. Interpreted comparisons are placed
+/// as soon as their variables bind.
+///
+/// Greedy placement is complete here: placing any executable atom only grows
+/// the set of bound variables, so it can never block another placement.
+///
+/// Returns the plan with its body (and the aligned source list) reordered,
+/// or FailedPrecondition when no executable order exists (e.g. two sources
+/// that each require the other's output).
+StatusOr<QueryPlan> FindExecutableOrder(const QueryPlan& plan,
+                                        const datalog::Catalog& catalog);
+
+}  // namespace planorder::reformulation
+
+#endif  // PLANORDER_REFORMULATION_EXECUTABLE_ORDER_H_

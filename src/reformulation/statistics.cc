@@ -1,0 +1,173 @@
+#include "reformulation/statistics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "datalog/builtins.h"
+#include "datalog/unify.h"
+
+namespace planorder::reformulation {
+
+using datalog::Atom;
+using datalog::ConjunctiveQuery;
+using datalog::Substitution;
+using datalog::Term;
+
+namespace {
+
+/// The distinct bindings source `id` can contribute to `goal`: unify the
+/// subgoal with a view atom, project the subgoal's variables through the
+/// source head, and evaluate against the instances. Variables the source
+/// cannot retrieve (mapped to view existentials) are dropped from the
+/// projection — overlap over the retrievable attributes is the conservative
+/// choice.
+StatusOr<std::vector<std::vector<Term>>> SubgoalBindings(
+    const ConjunctiveQuery& query, const datalog::Catalog& catalog,
+    datalog::SourceId id, const Atom& goal,
+    const datalog::Database& source_facts) {
+  (void)query;
+  const ConjunctiveQuery view = catalog.source(id).view.RenameVariables("_s");
+  for (const Atom& atom : view.body) {
+    if (datalog::IsComparisonAtom(atom)) continue;
+    if (atom.predicate != goal.predicate ||
+        atom.args.size() != goal.args.size()) {
+      continue;
+    }
+    Substitution subst;
+    if (!datalog::UnifyAtoms(goal, atom, subst)) continue;
+    const Atom plan_atom = datalog::ApplySubstitution(view.head, subst);
+    // Projection over the subgoal variables the plan atom retrieves.
+    std::set<std::string> plan_vars;
+    plan_atom.CollectVariables(plan_vars);
+    ConjunctiveQuery projection;
+    projection.head.predicate = "proj";
+    std::set<std::string> goal_vars;
+    goal.CollectVariables(goal_vars);
+    for (const std::string& v : goal_vars) {
+      const Term resolved =
+          datalog::ApplySubstitution(Term::Variable(v), subst);
+      if (resolved.is_variable() && plan_vars.contains(resolved.name())) {
+        projection.head.args.push_back(resolved);
+      }
+    }
+    projection.body.push_back(plan_atom);
+    if (projection.head.args.empty()) {
+      // Fully ground subgoal (all constants): count matching tuples as 0/1.
+      return datalog::EvaluateQuery(
+          ConjunctiveQuery(Atom("proj", {}), {plan_atom}), source_facts);
+    }
+    return datalog::EvaluateQuery(projection, source_facts);
+  }
+  return std::vector<std::vector<Term>>{};
+}
+
+}  // namespace
+
+StatusOr<stats::Workload> EstimateWorkloadFromInstances(
+    const ConjunctiveQuery& query, const datalog::Catalog& catalog,
+    const BucketResult& buckets, const datalog::Database& source_facts,
+    const EstimateOptions& options) {
+  if (options.regions_per_bucket < 1 || options.regions_per_bucket > 64) {
+    return InvalidArgumentError("regions_per_bucket must be in [1, 64]");
+  }
+  // Relational subgoals, aligned with the buckets.
+  std::vector<const Atom*> goals;
+  for (const Atom& atom : query.body) {
+    if (!datalog::IsComparisonAtom(atom)) goals.push_back(&atom);
+  }
+  if (goals.size() != buckets.buckets.size()) {
+    return InvalidArgumentError("buckets do not match the query's subgoals");
+  }
+
+  const datalog::TermVectorHash hasher;
+  const int regions = options.regions_per_bucket;
+  std::vector<std::vector<stats::SourceStats>> bucket_stats(goals.size());
+  std::vector<std::vector<double>> region_weights(goals.size());
+  std::vector<double> domain_sizes(goals.size());
+
+  for (size_t b = 0; b < goals.size(); ++b) {
+    const size_t members = buckets.buckets[b].size();
+    if (members > 64) {
+      return InvalidArgumentError("at most 64 sources per bucket supported");
+    }
+    // Pass 1: bindings per source; co-occurrence signature per binding.
+    // Two sources overlap exactly when some binding appears in both, so the
+    // binding's *containment signature* (the set of bucket sources holding
+    // it) is the natural coverage cluster: bindings with the same signature
+    // are indistinguishable to the coverage model.
+    std::unordered_map<size_t, uint64_t> signature_of;  // binding hash -> mask
+    std::vector<size_t> cardinalities(members, 0);
+    for (size_t i = 0; i < members; ++i) {
+      PLANORDER_ASSIGN_OR_RETURN(
+          std::vector<std::vector<Term>> bindings,
+          SubgoalBindings(query, catalog, buckets.buckets[b][i], *goals[b],
+                          source_facts));
+      cardinalities[i] = bindings.size();
+      for (const std::vector<Term>& binding : bindings) {
+        signature_of[hasher(binding)] |= uint64_t{1} << i;
+      }
+    }
+    // Pass 2: one region per distinct signature, most-populated first; the
+    // tail shares the last region (conservative: it can only merge clusters,
+    // never split them, so overlap stays sound).
+    std::map<uint64_t, int> population;
+    for (const auto& [unused, signature] : signature_of) {
+      ++population[signature];
+    }
+    std::vector<std::pair<int, uint64_t>> by_population;
+    for (const auto& [signature, count] : population) {
+      by_population.push_back({count, signature});
+    }
+    std::sort(by_population.rbegin(), by_population.rend());
+    std::map<uint64_t, int> region_of_signature;
+    std::vector<double> weights(regions, 0.0);
+    for (size_t s = 0; s < by_population.size(); ++s) {
+      const int region = std::min<int>(static_cast<int>(s), regions - 1);
+      region_of_signature[by_population[s].second] = region;
+      weights[region] += double(by_population[s].first);
+    }
+    // Pass 3: masks — a source covers every region holding a signature it
+    // belongs to.
+    bucket_stats[b].resize(members);
+    double max_cardinality = 1.0;
+    for (size_t i = 0; i < members; ++i) {
+      stats::SourceStats& s = bucket_stats[b][i];
+      auto it = options.overrides.find(
+          catalog.source(buckets.buckets[b][i]).name);
+      if (it != options.overrides.end()) {
+        s = it->second;
+      } else {
+        s.transmission_cost = options.default_transmission_cost;
+        s.failure_prob = options.default_failure_prob;
+        s.fee = options.default_fee;
+      }
+      s.cardinality = std::max<double>(1.0, double(cardinalities[i]));
+      s.regions.bits = 0;
+      for (const auto& [signature, region] : region_of_signature) {
+        if (signature & (uint64_t{1} << i)) {
+          s.regions.bits |= uint64_t{1} << region;
+        }
+      }
+      if (s.regions.empty()) s.regions.bits = 1;  // empty source: floor
+      max_cardinality = std::max(max_cardinality, s.cardinality);
+    }
+    // Normalize weights (epsilon keeps every region weight positive).
+    double total = 0.0;
+    for (double w : weights) total += w;
+    region_weights[b].resize(regions);
+    for (int r = 0; r < regions; ++r) {
+      region_weights[b][r] =
+          total > 0.0 ? (weights[r] + 1e-9) / (total + 1e-9 * regions)
+                      : 1.0 / regions;
+    }
+    domain_sizes[b] = max_cardinality * options.domain_size_factor;
+  }
+  return stats::Workload::FromParts(std::move(bucket_stats),
+                                    std::move(region_weights),
+                                    options.access_overhead,
+                                    std::move(domain_sizes));
+}
+
+}  // namespace planorder::reformulation

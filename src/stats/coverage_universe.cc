@@ -1,0 +1,132 @@
+#include "stats/coverage_universe.h"
+
+#include "base/logging.h"
+
+namespace planorder::stats {
+
+CoverageUniverse::CoverageUniverse(
+    std::vector<std::vector<double>> region_weights)
+    : weights_(std::move(region_weights)) {
+  PLANORDER_CHECK(!weights_.empty());
+  for (const auto& w : weights_) {
+    PLANORDER_CHECK(!w.empty() && w.size() <= 64)
+        << "between 1 and 64 regions per bucket";
+  }
+  covered_.assign(FlatSize(), 0);
+}
+
+size_t CoverageUniverse::FlatSize() const {
+  size_t size = 1;
+  for (size_t d = 0; d + 1 < weights_.size(); ++d) size *= weights_[d].size();
+  return size;
+}
+
+double CoverageUniverse::MaskWeight(int dimension, RegionMask mask) const {
+  double total = 0.0;
+  uint64_t bits = mask.bits;
+  while (bits != 0) {
+    int r = __builtin_ctzll(bits);
+    bits &= bits - 1;
+    PLANORDER_DCHECK(r < static_cast<int>(weights_[dimension].size()));
+    total += weights_[dimension][r];
+  }
+  return total;
+}
+
+double CoverageUniverse::BoxVolume(const std::vector<RegionMask>& box) const {
+  PLANORDER_CHECK_EQ(box.size(), weights_.size());
+  double volume = 1.0;
+  for (size_t d = 0; d < box.size(); ++d) {
+    volume *= MaskWeight(static_cast<int>(d), box[d]);
+  }
+  return volume;
+}
+
+double CoverageUniverse::UncoveredBoxVolume(
+    const std::vector<RegionMask>& box) const {
+  PLANORDER_CHECK_EQ(box.size(), weights_.size());
+  const int m = num_dimensions();
+  const int last = m - 1;
+  // Iterate the cells of the box over dims 0..m-2; for each, subtract the
+  // covered regions from the last dimension's mask and sum the survivors.
+  double total = 0.0;
+  std::vector<uint64_t> remaining(last); // bits of box[d] not yet visited
+  std::vector<double> prefix(last + 1);  // product of weights of chosen regions
+  prefix[0] = 1.0;
+
+  int d = 0;
+  if (last == 0) {
+    // Single-subgoal query: one flat entry.
+    uint64_t bits = box[0].bits & ~covered_[0];
+    return MaskWeight(0, RegionMask{bits});
+  }
+  remaining[0] = box[0].bits;
+  size_t flat = 0;
+  std::vector<size_t> stride(last);
+  stride[last - 1] = 1;
+  for (int i = last - 2; i >= 0; --i) {
+    stride[i] = stride[i + 1] * weights_[i + 1].size();
+  }
+  std::vector<size_t> flat_prefix(last + 1, 0);
+  while (true) {
+    if (remaining[d] == 0) {
+      if (d == 0) break;
+      --d;
+      continue;
+    }
+    int r = __builtin_ctzll(remaining[d]);
+    remaining[d] &= remaining[d] - 1;
+    prefix[d + 1] = prefix[d] * weights_[d][r];
+    flat_prefix[d + 1] = flat_prefix[d] + static_cast<size_t>(r) * stride[d];
+    if (d == last - 1) {
+      flat = flat_prefix[d + 1];
+      uint64_t bits = box[last].bits & ~covered_[flat];
+      if (bits != 0) {
+        total += prefix[d + 1] * MaskWeight(last, RegionMask{bits});
+      }
+    } else {
+      ++d;
+      remaining[d] = box[d].bits;
+    }
+  }
+  return total;
+}
+
+void CoverageUniverse::AddBox(const std::vector<RegionMask>& box) {
+  PLANORDER_CHECK_EQ(box.size(), weights_.size());
+  const int m = num_dimensions();
+  const int last = m - 1;
+  if (last == 0) {
+    covered_[0] |= box[0].bits;
+    return;
+  }
+  std::vector<uint64_t> remaining(last);
+  std::vector<size_t> stride(last);
+  stride[last - 1] = 1;
+  for (int i = last - 2; i >= 0; --i) {
+    stride[i] = stride[i + 1] * weights_[i + 1].size();
+  }
+  std::vector<size_t> flat_prefix(last + 1, 0);
+  int d = 0;
+  remaining[0] = box[0].bits;
+  while (true) {
+    if (remaining[d] == 0) {
+      if (d == 0) break;
+      --d;
+      continue;
+    }
+    int r = __builtin_ctzll(remaining[d]);
+    remaining[d] &= remaining[d] - 1;
+    flat_prefix[d + 1] = flat_prefix[d] + static_cast<size_t>(r) * stride[d];
+    if (d == last - 1) {
+      covered_[flat_prefix[d + 1]] |= box[last].bits;
+    } else {
+      ++d;
+      remaining[d] = box[d].bits;
+    }
+  }
+}
+
+void CoverageUniverse::Clear() { covered_.assign(covered_.size(), 0); }
+
+}  // namespace planorder::stats

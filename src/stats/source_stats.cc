@@ -1,0 +1,43 @@
+#include "stats/source_stats.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace planorder::stats {
+
+StatSummary StatSummary::ForConcrete(int bucket, int member,
+                                     const SourceStats& stats,
+                                     double mask_weight) {
+  StatSummary summary;
+  summary.bucket = bucket;
+  summary.cardinality = Interval::Point(stats.cardinality);
+  summary.transmission_cost = Interval::Point(stats.transmission_cost);
+  summary.failure_prob = Interval::Point(stats.failure_prob);
+  summary.fee = Interval::Point(stats.fee);
+  summary.mask_union = stats.regions;
+  summary.mask_intersection = stats.regions;
+  summary.mask_weight_max = mask_weight;
+  summary.members = {member};
+  return summary;
+}
+
+StatSummary StatSummary::Merge(const StatSummary& a, const StatSummary& b) {
+  PLANORDER_CHECK_EQ(a.bucket, b.bucket);
+  StatSummary summary;
+  summary.bucket = a.bucket;
+  summary.cardinality = Interval::Hull(a.cardinality, b.cardinality);
+  summary.transmission_cost =
+      Interval::Hull(a.transmission_cost, b.transmission_cost);
+  summary.failure_prob = Interval::Hull(a.failure_prob, b.failure_prob);
+  summary.fee = Interval::Hull(a.fee, b.fee);
+  summary.mask_union = a.mask_union.Union(b.mask_union);
+  summary.mask_intersection = a.mask_intersection.Intersection(b.mask_intersection);
+  summary.mask_weight_max = std::max(a.mask_weight_max, b.mask_weight_max);
+  summary.members.reserve(a.members.size() + b.members.size());
+  std::merge(a.members.begin(), a.members.end(), b.members.begin(),
+             b.members.end(), std::back_inserter(summary.members));
+  return summary;
+}
+
+}  // namespace planorder::stats

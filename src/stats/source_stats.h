@@ -1,0 +1,84 @@
+#ifndef PLANORDER_STATS_SOURCE_STATS_H_
+#define PLANORDER_STATS_SOURCE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/interval.h"
+
+namespace planorder::stats {
+
+/// A set of coverage regions within one bucket's subgoal domain, as a 64-bit
+/// mask. The subgoal domain of every bucket is partitioned into at most 64
+/// weighted regions; a source covers a subset of them. Overlap of two sources
+/// is overlap of their region sets, exactly as in the paper's Figure 3 circle
+/// diagrams.
+struct RegionMask {
+  uint64_t bits = 0;
+
+  int count() const { return __builtin_popcountll(bits); }
+  bool empty() const { return bits == 0; }
+  bool Intersects(RegionMask other) const { return (bits & other.bits) != 0; }
+  bool Contains(RegionMask other) const {
+    return (bits & other.bits) == other.bits;
+  }
+  RegionMask Union(RegionMask other) const { return {bits | other.bits}; }
+  RegionMask Intersection(RegionMask other) const {
+    return {bits & other.bits};
+  }
+
+  friend bool operator==(RegionMask a, RegionMask b) { return a.bits == b.bits; }
+};
+
+/// Statistics the mediator keeps about one concrete source, for one query
+/// subgoal (bucket). These drive every utility measure in Section 6:
+///  - cardinality           n_i : expected number of tuples the source returns
+///  - transmission_cost     α_i : time cost of shipping one item
+///  - failure_prob          f_i : probability an access fails (retried)
+///  - fee                       : monetary charge for shipping one item
+///  - regions                   : coverage region set (plan-coverage measure)
+struct SourceStats {
+  double cardinality = 1.0;
+  double transmission_cost = 1.0;
+  double failure_prob = 0.0;
+  double fee = 1.0;
+  RegionMask regions;
+};
+
+/// Aggregated statistics of a group of sources within one bucket: each scalar
+/// statistic becomes an interval spanning the group's members, and the region
+/// set becomes a (union, intersection) pair. Evaluating an abstract plan runs
+/// the concrete utility formula over these (Section 5.1: interval instead of
+/// point arithmetic). A concrete source is the degenerate case: point
+/// intervals, union == intersection, a single member.
+struct StatSummary {
+  int bucket = 0;
+  Interval cardinality = Interval::Point(1.0);
+  Interval transmission_cost = Interval::Point(1.0);
+  Interval failure_prob = Interval::Point(0.0);
+  Interval fee = Interval::Point(1.0);
+  RegionMask mask_union;
+  RegionMask mask_intersection;
+  /// Max over members of the weighted size of the member's own region set.
+  /// Bounds every member's (unconditioned) per-bucket coverage, which gives
+  /// the coverage model an upper bound far tighter than the union mask for
+  /// large groups.
+  double mask_weight_max = 0.0;
+  /// Concrete member indices within the bucket, sorted ascending.
+  std::vector<int> members;
+
+  bool is_concrete() const { return members.size() == 1; }
+
+  /// The summary of a single concrete source. `mask_weight` is the weighted
+  /// size of the source's region set under its bucket's region weights.
+  static StatSummary ForConcrete(int bucket, int member,
+                                 const SourceStats& stats,
+                                 double mask_weight);
+
+  /// The summary of the union of two groups (same bucket).
+  static StatSummary Merge(const StatSummary& a, const StatSummary& b);
+};
+
+}  // namespace planorder::stats
+
+#endif  // PLANORDER_STATS_SOURCE_STATS_H_

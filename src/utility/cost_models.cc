@@ -1,0 +1,191 @@
+#include "utility/cost_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace planorder::utility {
+namespace {
+
+/// Caching adjustment for one cost term: an operation cached for every
+/// member costs exactly zero; cached for some members makes zero reachable,
+/// widening the interval down to it.
+Interval ApplyCache(const Interval& term, const stats::StatSummary& node,
+                    const ExecutionContext& ctx) {
+  bool all_cached = true;
+  bool any_cached = false;
+  for (int member : node.members) {
+    if (ctx.IsCached(node.bucket, member)) {
+      any_cached = true;
+    } else {
+      all_cached = false;
+    }
+  }
+  if (all_cached) return Interval::Point(0.0);
+  if (any_cached) return Interval(0.0, term.hi());
+  return term;
+}
+
+}  // namespace
+
+Interval AdditiveCostModel::Evaluate(NodeSpan nodes,
+                                     const ExecutionContext& ctx) const {
+  (void)ctx;
+  const double h = workload().access_overhead();
+  Interval cost = Interval::Point(0.0);
+  for (const stats::StatSummary* node : nodes) {
+    cost += Interval::Point(h) + node->transmission_cost * node->cardinality;
+  }
+  return -cost;
+}
+
+double AdditiveCostModel::MonotoneScore(int bucket, int source) const {
+  const stats::SourceStats& s = workload().source(bucket, source);
+  return -(s.transmission_cost * s.cardinality);
+}
+
+StatusOr<std::unique_ptr<BoundJoinCostModel>> BoundJoinCostModel::Create(
+    const stats::Workload* workload, const BoundJoinOptions& options) {
+  if (options.assume_uniform_alpha) {
+    if (options.include_failure || options.use_cache ||
+        options.per_tuple_monetary) {
+      return InvalidArgumentError(
+          "assume_uniform_alpha is only meaningful for the plain measure (2)");
+    }
+    for (int b = 0; b < workload->num_buckets(); ++b) {
+      const double alpha0 = workload->source(b, 0).transmission_cost;
+      for (int i = 1; i < workload->bucket_size(b); ++i) {
+        if (std::abs(workload->source(b, i).transmission_cost - alpha0) >
+            1e-12) {
+          return FailedPreconditionError(
+              "assume_uniform_alpha set but transmission costs vary");
+        }
+      }
+    }
+  }
+  return std::make_unique<BoundJoinCostModel>(workload, options);
+}
+
+std::string BoundJoinCostModel::name() const {
+  std::string n = options_.per_tuple_monetary ? "monetary-per-tuple"
+                                              : "bound-join-cost";
+  if (options_.include_failure) n += "+failure";
+  if (options_.use_cache) n += "+cache";
+  return n;
+}
+
+Interval BoundJoinCostModel::Evaluate(NodeSpan nodes,
+                                      const ExecutionContext& ctx) const {
+  const double h = workload().access_overhead();
+  Interval cost = Interval::Point(0.0);
+  Interval flowing = Interval::Point(1.0);  // bindings entering bucket b
+  for (size_t b = 0; b < nodes.size(); ++b) {
+    const stats::StatSummary& node = *nodes[b];
+    // Items shipped from source b: all of its answers for the first subgoal,
+    // the estimated bound-join result n_b * t_{b-1} / N_b afterwards.
+    Interval transfer =
+        b == 0 ? node.cardinality
+               : node.cardinality * flowing /
+                     Interval::Point(workload().domain_size(static_cast<int>(b)));
+    const Interval& price =
+        options_.per_tuple_monetary ? node.fee : node.transmission_cost;
+    Interval term = Interval::Point(h) + price * transfer;
+    if (options_.include_failure) {
+      term = term / (Interval::Point(1.0) - node.failure_prob);
+    }
+    if (options_.use_cache) {
+      term = ApplyCache(term, node, ctx);
+    }
+    cost += term;
+    flowing = transfer;
+  }
+  if (options_.per_tuple_monetary) {
+    // `flowing` is the estimated number of output tuples; positive because
+    // cardinalities and domain sizes are positive.
+    cost = cost / flowing;
+  }
+  return -cost;
+}
+
+double BoundJoinCostModel::MonotoneScore(int bucket, int source) const {
+  PLANORDER_CHECK(options_.assume_uniform_alpha);
+  (void)bucket;
+  // With uniform transmission costs every term of measure (2) decreases when
+  // any source's cardinality decreases, so fewer expected tuples is better.
+  return -workload().source(bucket, source).cardinality;
+}
+
+bool BoundJoinCostModel::Independent(const ConcretePlan& a,
+                                     const ConcretePlan& b) const {
+  if (!options_.use_cache) return true;
+  // With caching, executing one plan can zero a term of the other exactly
+  // when they share a source operation (same source at the same subgoal).
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] == b[i]) return false;
+  }
+  return true;
+}
+
+int BoundJoinCostModel::ProbeMember(const stats::StatSummary& summary) const {
+  int best = summary.members.front();
+  double best_score = 1e300;
+  for (int member : summary.members) {
+    const stats::SourceStats& s = workload().source(summary.bucket, member);
+    const double price =
+        options_.per_tuple_monetary ? s.fee : s.transmission_cost;
+    double score = price * s.cardinality;
+    if (options_.include_failure) score /= (1.0 - s.failure_prob);
+    if (score < best_score) {
+      best_score = score;
+      best = member;
+    }
+  }
+  return best;
+}
+
+bool BoundJoinCostModel::GroupIndependentOf(NodeSpan nodes,
+                                            const ConcretePlan& plan) const {
+  if (!options_.use_cache) return true;
+  // Some concrete group plan shares an operation with `plan` iff `plan`'s
+  // source at some bucket is among the group's members there.
+  for (size_t b = 0; b < nodes.size(); ++b) {
+    const std::vector<int>& members = nodes[b]->members;
+    if (std::find(members.begin(), members.end(), plan[b]) != members.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<ConcretePlan> BoundJoinCostModel::FindIndependentGroupPlan(
+    NodeSpan nodes, const std::vector<const ConcretePlan*>& others) const {
+  ConcretePlan witness(nodes.size());
+  if (!options_.use_cache) {
+    for (size_t b = 0; b < nodes.size(); ++b) {
+      witness[b] = nodes[b]->members[0];
+    }
+    return witness;
+  }
+  // Independence from every other plan decomposes per bucket: pick any member
+  // not used at that bucket by any of `others`. Exact.
+  for (size_t b = 0; b < nodes.size(); ++b) {
+    bool found = false;
+    for (int member : nodes[b]->members) {
+      bool clashes = false;
+      for (const ConcretePlan* other : others) {
+        if ((*other)[b] == member) {
+          clashes = true;
+          break;
+        }
+      }
+      if (!clashes) {
+        witness[b] = member;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  return witness;
+}
+
+}  // namespace planorder::utility

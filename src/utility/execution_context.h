@@ -1,0 +1,78 @@
+#ifndef PLANORDER_UTILITY_EXECUTION_CONTEXT_H_
+#define PLANORDER_UTILITY_EXECUTION_CONTEXT_H_
+
+#include <vector>
+
+#include "stats/coverage_universe.h"
+#include "stats/workload.h"
+
+namespace planorder::utility {
+
+/// A concrete query plan over a workload: one source index per bucket,
+/// plan[b] being a position within bucket b. (The datalog-level rendering of
+/// a plan lives in the reformulation module; the ordering algorithms only
+/// need this index form.)
+using ConcretePlan = std::vector<int>;
+
+/// Mutable evaluation state shared by a utility model and an ordering
+/// algorithm: which plans have been executed so far. The plan-ordering
+/// problem (Definition 2.1) conditions the utility of the i-th plan on the
+/// i-1 plans before it; orderers record emissions here and models read it.
+///
+/// Tracks the two pieces of state the Section 6 measures need:
+///  - the covered cells of the coverage universe (plan coverage), and
+///  - the set of executed source operations (cost with caching), keyed by
+///    (bucket, source): the first access caches the source's full answer for
+///    that subgoal, later accesses are free.
+class ExecutionContext {
+ public:
+  /// `workload` must outlive the context.
+  explicit ExecutionContext(const stats::Workload* workload)
+      : workload_(workload), universe_(workload->MakeUniverse()) {
+    cached_.resize(workload->num_buckets());
+    for (int b = 0; b < workload->num_buckets(); ++b) {
+      cached_[b].assign(workload->bucket_size(b), 0);
+    }
+  }
+
+  const stats::Workload& workload() const { return *workload_; }
+
+  /// Records that `plan` has been executed: covers its coverage box and
+  /// caches its source operations.
+  void MarkExecuted(const ConcretePlan& plan) {
+    std::vector<stats::RegionMask> box(plan.size());
+    for (size_t b = 0; b < plan.size(); ++b) {
+      box[b] = workload_->source(static_cast<int>(b), plan[b]).regions;
+      cached_[b][plan[b]] = 1;
+    }
+    universe_.AddBox(box);
+    executed_.push_back(plan);
+  }
+
+  /// Forgets all executions.
+  void Reset() {
+    universe_.Clear();
+    executed_.clear();
+    for (auto& bucket : cached_) bucket.assign(bucket.size(), 0);
+  }
+
+  const std::vector<ConcretePlan>& executed() const { return executed_; }
+  int64_t epoch() const { return static_cast<int64_t>(executed_.size()); }
+
+  const stats::CoverageUniverse& universe() const { return universe_; }
+
+  /// True when the (bucket, source) operation result is cached.
+  bool IsCached(int bucket, int source) const {
+    return cached_[bucket][source] != 0;
+  }
+
+ private:
+  const stats::Workload* workload_;
+  stats::CoverageUniverse universe_;
+  std::vector<ConcretePlan> executed_;
+  std::vector<std::vector<char>> cached_;
+};
+
+}  // namespace planorder::utility
+
+#endif  // PLANORDER_UTILITY_EXECUTION_CONTEXT_H_

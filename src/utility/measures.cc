@@ -1,0 +1,65 @@
+#include "utility/measures.h"
+
+#include "utility/cost_models.h"
+#include "utility/coverage_model.h"
+
+namespace planorder::utility {
+
+std::string MeasureKindName(MeasureKind kind) {
+  switch (kind) {
+    case MeasureKind::kAdditive:
+      return "additive";
+    case MeasureKind::kCost2UniformAlpha:
+      return "cost2-uniform-alpha";
+    case MeasureKind::kCost2:
+      return "cost2";
+    case MeasureKind::kFailureNoCache:
+      return "failure-nocache";
+    case MeasureKind::kFailureCache:
+      return "failure-cache";
+    case MeasureKind::kMonetary:
+      return "monetary";
+    case MeasureKind::kMonetaryCache:
+      return "monetary-cache";
+    case MeasureKind::kCoverage:
+      return "coverage";
+  }
+  return "?";
+}
+
+StatusOr<std::unique_ptr<UtilityModel>> MakeMeasure(
+    MeasureKind kind, const stats::Workload* workload) {
+  BoundJoinOptions options;
+  switch (kind) {
+    case MeasureKind::kAdditive:
+      return std::unique_ptr<UtilityModel>(
+          std::make_unique<AdditiveCostModel>(workload));
+    case MeasureKind::kCoverage:
+      return std::unique_ptr<UtilityModel>(
+          std::make_unique<CoverageModel>(workload));
+    case MeasureKind::kCost2UniformAlpha:
+      options.assume_uniform_alpha = true;
+      break;
+    case MeasureKind::kCost2:
+      break;
+    case MeasureKind::kFailureNoCache:
+      options.include_failure = true;
+      break;
+    case MeasureKind::kFailureCache:
+      options.include_failure = true;
+      options.use_cache = true;
+      break;
+    case MeasureKind::kMonetary:
+      options.per_tuple_monetary = true;
+      break;
+    case MeasureKind::kMonetaryCache:
+      options.per_tuple_monetary = true;
+      options.use_cache = true;
+      break;
+  }
+  PLANORDER_ASSIGN_OR_RETURN(std::unique_ptr<BoundJoinCostModel> model,
+                             BoundJoinCostModel::Create(workload, options));
+  return std::unique_ptr<UtilityModel>(std::move(model));
+}
+
+}  // namespace planorder::utility

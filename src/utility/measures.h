@@ -1,0 +1,37 @@
+#ifndef PLANORDER_UTILITY_MEASURES_H_
+#define PLANORDER_UTILITY_MEASURES_H_
+
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+#include "utility/model.h"
+
+namespace planorder::utility {
+
+/// The utility measures studied by the paper, by name. kAdditive and
+/// kCost2UniformAlpha are the fully monotonic ones (Greedy applies); the
+/// rest are the four non-monotonic measures of the Section 6 experiments,
+/// the caching variants of which additionally lose diminishing returns.
+enum class MeasureKind {
+  kAdditive,          // measure (1): sum of per-source costs
+  kCost2UniformAlpha, // measure (2) with uniform transmission costs
+  kCost2,             // measure (2), transmission costs vary
+  kFailureNoCache,    // measure (2) + source failure
+  kFailureCache,      // ... with operation caching
+  kMonetary,          // average monetary cost per output tuple
+  kMonetaryCache,     // ... with operation caching
+  kCoverage,          // probabilistic plan coverage
+};
+
+/// Stable name ("coverage", "failure-cache", ...).
+std::string MeasureKindName(MeasureKind kind);
+
+/// Instantiates the measure over `workload` (validates applicability, e.g.
+/// uniform transmission costs for kCost2UniformAlpha).
+StatusOr<std::unique_ptr<UtilityModel>> MakeMeasure(
+    MeasureKind kind, const stats::Workload* workload);
+
+}  // namespace planorder::utility
+
+#endif  // PLANORDER_UTILITY_MEASURES_H_

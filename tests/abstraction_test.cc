@@ -1,0 +1,143 @@
+#include "core/abstraction.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace planorder::core {
+namespace {
+
+stats::Workload MakeWorkload(int bucket_size, uint64_t seed = 9) {
+  stats::WorkloadOptions options;
+  options.query_length = 3;
+  options.bucket_size = bucket_size;
+  options.seed = seed;
+  auto w = stats::Workload::Generate(options);
+  EXPECT_TRUE(w.ok());
+  return std::move(*w);
+}
+
+void CheckTree(const AbstractionForest& forest, const stats::Workload& w,
+               int bucket, int node, std::set<int>& leaves) {
+  const stats::StatSummary& summary = forest.summary(node);
+  EXPECT_EQ(summary.bucket, bucket);
+  EXPECT_TRUE(std::is_sorted(summary.members.begin(), summary.members.end()));
+  if (forest.is_leaf(node)) {
+    ASSERT_EQ(summary.members.size(), 1u);
+    EXPECT_TRUE(leaves.insert(summary.members[0]).second);
+    EXPECT_EQ(forest.leaf_source(node), summary.members[0]);
+    EXPECT_TRUE(summary.cardinality.is_point());
+    return;
+  }
+  const stats::StatSummary& left = forest.summary(forest.left(node));
+  const stats::StatSummary& right = forest.summary(forest.right(node));
+  // Parent members = union of children.
+  std::vector<int> merged;
+  std::merge(left.members.begin(), left.members.end(), right.members.begin(),
+             right.members.end(), std::back_inserter(merged));
+  EXPECT_EQ(summary.members, merged);
+  // Parent stats hull the children.
+  EXPECT_TRUE(summary.cardinality.Contains(left.cardinality));
+  EXPECT_TRUE(summary.cardinality.Contains(right.cardinality));
+  EXPECT_TRUE(summary.mask_union.Contains(left.mask_union));
+  EXPECT_TRUE(right.mask_intersection.Contains(summary.mask_intersection));
+  CheckTree(forest, w, bucket, forest.left(node), leaves);
+  CheckTree(forest, w, bucket, forest.right(node), leaves);
+}
+
+class AbstractionForestTest
+    : public ::testing::TestWithParam<AbstractionHeuristic> {};
+
+TEST_P(AbstractionForestTest, TreesPartitionEveryBucket) {
+  stats::Workload w = MakeWorkload(7);
+  const PlanSpace space = PlanSpace::FullSpace(w);
+  const AbstractionForest forest =
+      AbstractionForest::Build(w, space, GetParam(), /*seed=*/3);
+  ASSERT_EQ(forest.num_buckets(), 3);
+  for (int b = 0; b < 3; ++b) {
+    std::set<int> leaves;
+    CheckTree(forest, w, b, forest.root(b), leaves);
+    EXPECT_EQ(leaves.size(), 7u);  // every source appears exactly once
+  }
+}
+
+TEST_P(AbstractionForestTest, WorksOnSubspaces) {
+  stats::Workload w = MakeWorkload(6);
+  PlanSpace space;
+  space.buckets = {{1, 3, 5}, {0}, {2, 4}};
+  const AbstractionForest forest =
+      AbstractionForest::Build(w, space, GetParam(), /*seed=*/4);
+  EXPECT_EQ(forest.summary(forest.root(0)).members, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(forest.summary(forest.root(1)).members, (std::vector<int>{0}));
+  EXPECT_TRUE(forest.is_leaf(forest.root(1)));
+  EXPECT_EQ(forest.summary(forest.root(2)).members, (std::vector<int>{2, 4}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Heuristics, AbstractionForestTest,
+    ::testing::Values(AbstractionHeuristic::kByCardinality,
+                      AbstractionHeuristic::kByMaskSimilarity,
+                      AbstractionHeuristic::kRandom));
+
+TEST(AbstractionHeuristicTest, ByCardinalityGroupsSimilarCardinalities) {
+  stats::Workload w = MakeWorkload(8);
+  const PlanSpace space = PlanSpace::FullSpace(w);
+  const AbstractionForest forest = AbstractionForest::Build(
+      w, space, AbstractionHeuristic::kByCardinality);
+  // Any inner node's cardinality interval must be at most the bucket-wide
+  // spread, and first-level groups should be tighter than the root.
+  for (int b = 0; b < 3; ++b) {
+    const int root = forest.root(b);
+    const double root_width = forest.summary(root).cardinality.width();
+    const double left_width =
+        forest.summary(forest.left(root)).cardinality.width();
+    const double right_width =
+        forest.summary(forest.right(root)).cardinality.width();
+    EXPECT_LE(left_width, root_width);
+    EXPECT_LE(right_width, root_width);
+    // Sorted grouping: the two halves split the cardinality range.
+    EXPECT_LE(forest.summary(forest.left(root)).cardinality.hi(),
+              forest.summary(forest.right(root)).cardinality.lo() + 1e-9);
+  }
+}
+
+TEST(AbstractPlanTest, ConcretenessAndConversion) {
+  stats::Workload w = MakeWorkload(4);
+  const PlanSpace space = PlanSpace::FullSpace(w);
+  const AbstractionForest forest = AbstractionForest::Build(
+      w, space, AbstractionHeuristic::kByCardinality);
+  AbstractPlan top;
+  top.forest = &forest;
+  for (int b = 0; b < 3; ++b) top.nodes.push_back(forest.root(b));
+  EXPECT_FALSE(top.IsConcrete());
+  EXPECT_EQ(top.NumConcretePlans(), 64u);
+  ASSERT_EQ(top.Summaries().size(), 3u);
+
+  // Walk to leaves.
+  AbstractPlan leafy = top;
+  for (int b = 0; b < 3; ++b) {
+    int node = leafy.nodes[b];
+    while (!forest.is_leaf(node)) node = forest.left(node);
+    leafy.nodes[b] = node;
+  }
+  EXPECT_TRUE(leafy.IsConcrete());
+  EXPECT_EQ(leafy.NumConcretePlans(), 1u);
+  const ConcretePlan concrete = leafy.ToConcrete();
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_EQ(concrete[b], forest.leaf_source(leafy.nodes[b]));
+  }
+}
+
+TEST(AbstractionForestTest, SingletonBucketIsLeafRoot) {
+  stats::Workload w = MakeWorkload(1);
+  const PlanSpace space = PlanSpace::FullSpace(w);
+  const AbstractionForest forest = AbstractionForest::Build(
+      w, space, AbstractionHeuristic::kByCardinality);
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_TRUE(forest.is_leaf(forest.root(b)));
+  }
+}
+
+}  // namespace
+}  // namespace planorder::core

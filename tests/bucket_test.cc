@@ -1,0 +1,143 @@
+#include "reformulation/bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace planorder::reformulation {
+namespace {
+
+using datalog::Catalog;
+using datalog::ConjunctiveQuery;
+using datalog::ParseRule;
+
+/// The Figure 1 movie domain.
+Catalog MovieCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.schema().AddRelation("play-in", 2).ok());
+  EXPECT_TRUE(catalog.schema().AddRelation("review-of", 2).ok());
+  EXPECT_TRUE(catalog.schema().AddRelation("american", 1).ok());
+  EXPECT_TRUE(catalog.schema().AddRelation("russian", 1).ok());
+  for (const char* text : {
+           "v1(A,M) :- play-in(A,M), american(M)",
+           "v2(A,M) :- play-in(A,M), russian(M)",
+           "v3(A,M) :- play-in(A,M)",
+           "v4(R,M) :- review-of(R,M)",
+           "v5(R,M) :- review-of(R,M)",
+           "v6(R,M) :- review-of(R,M)",
+       }) {
+    auto id = catalog.AddSourceFromText(text);
+    EXPECT_TRUE(id.ok()) << id.status();
+  }
+  return catalog;
+}
+
+ConjunctiveQuery MovieQuery() {
+  auto q = ParseRule("q(M,R) :- play-in(ford,M), review-of(R,M)");
+  EXPECT_TRUE(q.ok());
+  return *q;
+}
+
+TEST(CatalogTest, ValidatesSources) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.schema().AddRelation("p", 2).ok());
+  // Unknown relation in view body.
+  EXPECT_FALSE(catalog.AddSourceFromText("v(A,B) :- nope(A,B)").ok());
+  // Arity mismatch.
+  EXPECT_FALSE(catalog.AddSourceFromText("v(A) :- p(A)").ok());
+  // Unsafe view head.
+  EXPECT_FALSE(catalog.AddSourceFromText("v(A,C) :- p(A,B)").ok());
+  // Empty body.
+  EXPECT_FALSE(catalog.AddSourceFromText("v(A,B)").ok());
+  // Good one.
+  EXPECT_TRUE(catalog.AddSourceFromText("v(A,B) :- p(A,B)").ok());
+  // Duplicate name.
+  EXPECT_FALSE(catalog.AddSourceFromText("v(A,B) :- p(B,A)").ok());
+  EXPECT_EQ(catalog.num_sources(), 1);
+}
+
+TEST(BucketTest, MovieDomainMatchesFigure1) {
+  Catalog catalog = MovieCatalog();
+  auto buckets = BuildBuckets(MovieQuery(), catalog);
+  ASSERT_TRUE(buckets.ok()) << buckets.status();
+  ASSERT_EQ(buckets->buckets.size(), 2u);
+  // Bucket B1 = {V1, V2, V3}, bucket B2 = {V4, V5, V6}.
+  EXPECT_EQ(buckets->buckets[0], (std::vector<datalog::SourceId>{0, 1, 2}));
+  EXPECT_EQ(buckets->buckets[1], (std::vector<datalog::SourceId>{3, 4, 5}));
+}
+
+TEST(BucketTest, DistinguishedVariableMustBeRetrievable) {
+  // A source projecting away the needed variable cannot serve the subgoal.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.schema().AddRelation("p", 2).ok());
+  // v_bad only exports A; the query needs B as well.
+  ASSERT_TRUE(catalog.AddSourceFromText("v_bad(A) :- p(A, B)").ok());
+  ASSERT_TRUE(catalog.AddSourceFromText("v_good(A,B) :- p(A, B)").ok());
+  auto q = ParseRule("q(A,B) :- p(A,B)");
+  ASSERT_TRUE(q.ok());
+  auto buckets = BuildBuckets(*q, catalog);
+  ASSERT_TRUE(buckets.ok());
+  EXPECT_EQ(buckets->buckets[0], (std::vector<datalog::SourceId>{1}));
+}
+
+TEST(BucketTest, ExistentialQueryVariableAllowsProjection) {
+  // If the query itself projects B away, the projecting source qualifies.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.schema().AddRelation("p", 2).ok());
+  ASSERT_TRUE(catalog.AddSourceFromText("v_proj(A) :- p(A, B)").ok());
+  auto q = ParseRule("q(A) :- p(A, B)");
+  ASSERT_TRUE(q.ok());
+  auto buckets = BuildBuckets(*q, catalog);
+  ASSERT_TRUE(buckets.ok());
+  EXPECT_EQ(buckets->buckets[0], (std::vector<datalog::SourceId>{0}));
+}
+
+TEST(BucketTest, ConstantInSubgoalMustUnify) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.schema().AddRelation("p", 2).ok());
+  ASSERT_TRUE(catalog.AddSourceFromText("v_ford(M) :- p(ford, M)").ok());
+  ASSERT_TRUE(catalog.AddSourceFromText("v_kate(M) :- p(kate, M)").ok());
+  ASSERT_TRUE(catalog.AddSourceFromText("v_any(A,M) :- p(A, M)").ok());
+  auto q = ParseRule("q(M) :- p(ford, M)");
+  ASSERT_TRUE(q.ok());
+  auto buckets = BuildBuckets(*q, catalog);
+  ASSERT_TRUE(buckets.ok());
+  // v_ford (constant matches) and v_any (variable covers) qualify.
+  EXPECT_EQ(buckets->buckets[0], (std::vector<datalog::SourceId>{0, 2}));
+}
+
+TEST(BucketTest, EmptyBucketWhenNoSourceServesSubgoal) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.schema().AddRelation("p", 1).ok());
+  ASSERT_TRUE(catalog.schema().AddRelation("r", 1).ok());
+  ASSERT_TRUE(catalog.AddSourceFromText("v(A) :- p(A)").ok());
+  auto q = ParseRule("q(A) :- p(A), r(A)");
+  ASSERT_TRUE(q.ok());
+  auto buckets = BuildBuckets(*q, catalog);
+  ASSERT_TRUE(buckets.ok());
+  EXPECT_EQ(buckets->buckets[0].size(), 1u);
+  EXPECT_TRUE(buckets->buckets[1].empty());
+}
+
+TEST(BucketTest, SourceCoveringMultipleSubgoalsAppearsInEachBucket) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.schema().AddRelation("p", 2).ok());
+  ASSERT_TRUE(catalog.schema().AddRelation("r", 2).ok());
+  ASSERT_TRUE(catalog.AddSourceFromText("v(A,B,C) :- p(A,B), r(B,C)").ok());
+  auto q = ParseRule("q(A,C) :- p(A,B), r(B,C)");
+  ASSERT_TRUE(q.ok());
+  auto buckets = BuildBuckets(*q, catalog);
+  ASSERT_TRUE(buckets.ok());
+  EXPECT_EQ(buckets->buckets[0], (std::vector<datalog::SourceId>{0}));
+  EXPECT_EQ(buckets->buckets[1], (std::vector<datalog::SourceId>{0}));
+}
+
+TEST(BucketTest, RejectsQueryOverUnknownRelations) {
+  Catalog catalog = MovieCatalog();
+  auto q = ParseRule("q(X) :- unknown(X)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(BuildBuckets(*q, catalog).ok());
+}
+
+}  // namespace
+}  // namespace planorder::reformulation

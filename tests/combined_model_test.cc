@@ -1,0 +1,149 @@
+#include "utility/combined_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pi.h"
+#include "core/streamer.h"
+#include "test_util.h"
+
+namespace planorder::utility {
+namespace {
+
+using core::PlanSpace;
+using test::Drain;
+using test::MakeWorkload;
+using test::Measure;
+using test::MustMakeMeasure;
+
+TEST(CombinedModelTest, ValidatesInputs) {
+  stats::Workload w = MakeWorkload(2, 3, 0.3, 1);
+  EXPECT_FALSE(CombinedModel::Create(&w, {}).ok());
+  auto coverage = MustMakeMeasure(Measure::kCoverage, &w);
+  EXPECT_FALSE(
+      CombinedModel::Create(&w, {{coverage.get(), 0.0}}).ok());
+  EXPECT_FALSE(CombinedModel::Create(&w, {{nullptr, 1.0}}).ok());
+  EXPECT_TRUE(CombinedModel::Create(&w, {{coverage.get(), 1.0}}).ok());
+}
+
+TEST(CombinedModelTest, EvaluatesWeightedSum) {
+  stats::Workload w = MakeWorkload(3, 4, 0.3, 2);
+  auto coverage = MustMakeMeasure(Measure::kCoverage, &w);
+  auto cost = MustMakeMeasure(Measure::kFailureNoCache, &w);
+  auto combined = CombinedModel::Create(
+      &w, {{coverage.get(), 100.0}, {cost.get(), 0.5}});
+  ASSERT_TRUE(combined.ok());
+  ExecutionContext ctx(&w);
+  const ConcretePlan plan = {1, 2, 3};
+  EXPECT_NEAR((*combined)->EvaluateConcrete(plan, ctx),
+              100.0 * coverage->EvaluateConcrete(plan, ctx) +
+                  0.5 * cost->EvaluateConcrete(plan, ctx),
+              1e-9);
+}
+
+TEST(CombinedModelTest, PropertiesComposeConservatively) {
+  stats::Workload w = MakeWorkload(2, 3, 0.3, 3);
+  auto coverage = MustMakeMeasure(Measure::kCoverage, &w);
+  auto cost_nocache = MustMakeMeasure(Measure::kFailureNoCache, &w);
+  auto cost_cache = MustMakeMeasure(Measure::kFailureCache, &w);
+
+  auto both_dr = CombinedModel::Create(
+      &w, {{coverage.get(), 1.0}, {cost_nocache.get(), 1.0}});
+  ASSERT_TRUE(both_dr.ok());
+  EXPECT_TRUE((*both_dr)->diminishing_returns());  // both components have DR
+  EXPECT_FALSE((*both_dr)->fully_independent());   // coverage is conditional
+  EXPECT_FALSE((*both_dr)->fully_monotonic());
+
+  auto with_cache = CombinedModel::Create(
+      &w, {{coverage.get(), 1.0}, {cost_cache.get(), 1.0}});
+  ASSERT_TRUE(with_cache.ok());
+  EXPECT_FALSE((*with_cache)->diminishing_returns());  // caching breaks DR
+}
+
+TEST(CombinedModelTest, IndependenceRequiresAllComponents) {
+  stats::Workload w = MakeWorkload(2, 4, 0.3, 4);
+  auto coverage = MustMakeMeasure(Measure::kCoverage, &w);
+  auto cost_cache = MustMakeMeasure(Measure::kFailureCache, &w);
+  auto combined = CombinedModel::Create(
+      &w, {{coverage.get(), 1.0}, {cost_cache.get(), 1.0}});
+  ASSERT_TRUE(combined.ok());
+  // Plans sharing a source operation are dependent through the cache
+  // component regardless of coverage masks.
+  EXPECT_FALSE((*combined)->Independent({0, 1}, {0, 2}));
+}
+
+class CombinedOrderingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CombinedOrderingTest, ExactOrderingUnderCombinedUtility) {
+  // Example 1.2's u(p) = alpha*coverage + beta*cost must order exactly, via
+  // both Streamer (DR holds) and PI, matching the naive brute force.
+  stats::Workload w = MakeWorkload(3, 4, 0.4, GetParam());
+  auto coverage = MustMakeMeasure(Measure::kCoverage, &w);
+  auto cost = MustMakeMeasure(Measure::kFailureNoCache, &w);
+  auto make_combined = [&]() {
+    auto combined = CombinedModel::Create(
+        &w, {{coverage.get(), 50.0}, {cost.get(), 1.0}});
+    EXPECT_TRUE(combined.ok());
+    return std::move(*combined);
+  };
+  const std::vector<PlanSpace> spaces = {PlanSpace::FullSpace(w)};
+
+  auto ref_model = make_combined();
+  auto naive = core::PiOrderer::Create(&w, ref_model.get(), spaces,
+                                       /*use_independence=*/false);
+  ASSERT_TRUE(naive.ok());
+  const auto reference = Drain(**naive);
+  ASSERT_EQ(reference.size(), 64u);
+
+  auto model_a = make_combined();
+  auto streamer = core::StreamerOrderer::Create(&w, model_a.get(), spaces);
+  ASSERT_TRUE(streamer.ok()) << streamer.status();
+  const auto via_streamer = Drain(**streamer);
+  ASSERT_EQ(via_streamer.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(via_streamer[i].utility, reference[i].utility, 1e-9)
+        << "streamer at " << i;
+  }
+
+  auto model_b = make_combined();
+  auto pi = core::PiOrderer::Create(&w, model_b.get(), spaces);
+  ASSERT_TRUE(pi.ok());
+  const auto via_pi = Drain(**pi);
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(via_pi[i].utility, reference[i].utility, 1e-9)
+        << "pi at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombinedOrderingTest,
+                         ::testing::Values(71, 72, 73));
+
+TEST(CombinedModelTest, EnclosurePropertyHolds) {
+  stats::Workload w = MakeWorkload(3, 6, 0.3, 5);
+  auto coverage = MustMakeMeasure(Measure::kCoverage, &w);
+  auto cost = MustMakeMeasure(Measure::kCost2, &w);
+  auto combined = CombinedModel::Create(
+      &w, {{coverage.get(), 10.0}, {cost.get(), 0.1}});
+  ASSERT_TRUE(combined.ok());
+  ExecutionContext ctx(&w);
+  const core::PlanSpace space = PlanSpace::FullSpace(w);
+  const core::AbstractionForest forest = core::AbstractionForest::Build(
+      w, space, core::AbstractionHeuristic::kByCardinality);
+  core::AbstractPlan top;
+  top.forest = &forest;
+  for (int b = 0; b < 3; ++b) top.nodes.push_back(forest.root(b));
+  const auto summaries = top.Summaries();
+  const Interval interval = (*combined)->Evaluate(
+      NodeSpan(summaries.data(), summaries.size()), ctx);
+  for (int a = 0; a < 6; ++a) {
+    for (int b = 0; b < 6; ++b) {
+      for (int c = 0; c < 6; ++c) {
+        const double u = (*combined)->EvaluateConcrete({a, b, c}, ctx);
+        EXPECT_GE(u, interval.lo() - 1e-9);
+        EXPECT_LE(u, interval.hi() + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace planorder::utility

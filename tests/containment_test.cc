@@ -1,0 +1,130 @@
+#include "datalog/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace planorder::datalog {
+namespace {
+
+ConjunctiveQuery MustRule(std::string_view text) {
+  auto rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status();
+  return *rule;
+}
+
+TEST(ContainmentTest, IdenticalQueriesContainEachOther) {
+  auto q = MustRule("q(X,Y) :- r(X,Z), s(Z,Y)");
+  EXPECT_TRUE(IsContainedIn(q, q));
+  EXPECT_TRUE(AreEquivalent(q, q));
+}
+
+TEST(ContainmentTest, MoreConstrainedIsContained) {
+  // sub adds a constraint, so sub ⊆ super but not vice versa.
+  auto sub = MustRule("q(X) :- r(X,Y), s(Y)");
+  auto super = MustRule("q(X) :- r(X,Y)");
+  EXPECT_TRUE(IsContainedIn(sub, super));
+  EXPECT_FALSE(IsContainedIn(super, sub));
+}
+
+TEST(ContainmentTest, ConstantSpecializesVariable) {
+  auto sub = MustRule("q(X) :- r(X, ford)");
+  auto super = MustRule("q(X) :- r(X, Y)");
+  EXPECT_TRUE(IsContainedIn(sub, super));
+  EXPECT_FALSE(IsContainedIn(super, sub));
+}
+
+TEST(ContainmentTest, DifferentConstantsIncomparable) {
+  auto a = MustRule("q(X) :- r(X, ford)");
+  auto b = MustRule("q(X) :- r(X, hepburn)");
+  EXPECT_FALSE(IsContainedIn(a, b));
+  EXPECT_FALSE(IsContainedIn(b, a));
+}
+
+TEST(ContainmentTest, RepeatedVariableSpecializes) {
+  auto sub = MustRule("q(X) :- r(X, X)");
+  auto super = MustRule("q(X) :- r(X, Y)");
+  EXPECT_TRUE(IsContainedIn(sub, super));
+  EXPECT_FALSE(IsContainedIn(super, sub));
+}
+
+TEST(ContainmentTest, HeadPredicateMustMatch) {
+  auto a = MustRule("q(X) :- r(X)");
+  auto b = MustRule("p(X) :- r(X)");
+  EXPECT_FALSE(IsContainedIn(a, b));
+}
+
+TEST(ContainmentTest, HeadProjectionMatters) {
+  // Same body, different head variable: q(X) vs q(Y) over r(X,Y).
+  auto a = MustRule("q(X) :- r(X, Y)");
+  auto b = MustRule("q(Y) :- r(X, Y)");
+  EXPECT_FALSE(IsContainedIn(a, b));
+  EXPECT_FALSE(IsContainedIn(b, a));
+}
+
+TEST(ContainmentTest, RedundantAtomIsEquivalent) {
+  // Classic: duplicated atom up to renaming folds away.
+  auto a = MustRule("q(X) :- r(X,Y), r(X,Z)");
+  auto b = MustRule("q(X) :- r(X,Y)");
+  EXPECT_TRUE(AreEquivalent(a, b));
+}
+
+TEST(ContainmentTest, ChainVersusTriangle) {
+  // Triangle (cycle) is contained in the chain pattern, not vice versa.
+  auto chain = MustRule("q() :- e(X,Y), e(Y,Z)");
+  auto triangle = MustRule("q() :- e(A,B), e(B,C), e(C,A)");
+  EXPECT_TRUE(IsContainedIn(triangle, chain));
+  EXPECT_FALSE(IsContainedIn(chain, triangle));
+}
+
+TEST(ContainmentTest, SharedVariableNamesDoNotConfuse) {
+  // Both queries use X and Y; renaming-apart must handle it.
+  auto a = MustRule("q(X) :- r(X, Y), s(Y)");
+  auto b = MustRule("q(Y) :- r(Y, X), s(X)");
+  EXPECT_TRUE(AreEquivalent(a, b));
+}
+
+TEST(ContainmentTest, MovieDomainPlanExpansion) {
+  // Expansion of plan V1(ford,M),V4(R,M) in the Figure 1 domain:
+  // american(M) restricts, so the expansion is contained in the query.
+  auto expansion =
+      MustRule("q(M,R) :- play-in(ford,M), american(M), review-of(R,M)");
+  auto query = MustRule("q(M,R) :- play-in(ford,M), review-of(R,M)");
+  EXPECT_TRUE(IsContainedIn(expansion, query));
+  EXPECT_FALSE(IsContainedIn(query, expansion));
+}
+
+TEST(SatisfiabilityTest, PureConjunctiveAlwaysSatisfiable) {
+  EXPECT_TRUE(IsSatisfiable(MustRule("q(X) :- r(X,Y), s(Y)")));
+  EXPECT_TRUE(IsSatisfiable(MustRule("q(X) :- r(X, X)")));
+}
+
+TEST(SatisfiabilityTest, DetectsContradictoryBounds) {
+  EXPECT_FALSE(
+      IsSatisfiable(MustRule("q(X) :- r(X), lt(X, 100), gt(X, 200)")));
+  EXPECT_FALSE(IsSatisfiable(MustRule("q(X) :- r(X), lt(X, 5), gt(X, 5)")));
+  EXPECT_FALSE(
+      IsSatisfiable(MustRule("q(X) :- r(X), le(X, 5), ge(X, 5), neq(X, 5)")));
+  // Point interval without exclusion is fine.
+  EXPECT_TRUE(IsSatisfiable(MustRule("q(X) :- r(X), le(X, 5), ge(X, 5)")));
+  // Constant-constant contradiction.
+  EXPECT_FALSE(IsSatisfiable(MustRule("q(X) :- r(X), lt(7, 3)")));
+  EXPECT_TRUE(IsSatisfiable(MustRule("q(X) :- r(X), lt(3, 7)")));
+}
+
+TEST(SatisfiabilityTest, CompatibleBoundsSatisfiable) {
+  EXPECT_TRUE(
+      IsSatisfiable(MustRule("q(X) :- r(X), gt(X, 100), lt(X, 200)")));
+  EXPECT_TRUE(IsSatisfiable(
+      MustRule("q(X,Y) :- r(X,Y), lt(X, 10), gt(Y, 10)")));
+}
+
+TEST(ContainmentTest, ArityMismatchNotContained) {
+  auto a = MustRule("q(X) :- r(X)");
+  auto b = MustRule("q(X,Y) :- r(X), r(Y)");
+  EXPECT_FALSE(IsContainedIn(a, b));
+  EXPECT_FALSE(IsContainedIn(b, a));
+}
+
+}  // namespace
+}  // namespace planorder::datalog

@@ -1,0 +1,152 @@
+#include "base/interval.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace planorder {
+namespace {
+
+TEST(IntervalTest, DefaultIsZeroPoint) {
+  Interval i;
+  EXPECT_EQ(i.lo(), 0.0);
+  EXPECT_EQ(i.hi(), 0.0);
+  EXPECT_TRUE(i.is_point());
+}
+
+TEST(IntervalTest, PointConstruction) {
+  Interval p = Interval::Point(3.5);
+  EXPECT_TRUE(p.is_point());
+  EXPECT_EQ(p.lo(), 3.5);
+  EXPECT_EQ(p.midpoint(), 3.5);
+  EXPECT_EQ(p.width(), 0.0);
+}
+
+TEST(IntervalTest, Accessors) {
+  Interval i(-1.0, 2.0);
+  EXPECT_EQ(i.lo(), -1.0);
+  EXPECT_EQ(i.hi(), 2.0);
+  EXPECT_EQ(i.width(), 3.0);
+  EXPECT_EQ(i.midpoint(), 0.5);
+  EXPECT_FALSE(i.is_point());
+}
+
+TEST(IntervalTest, ContainsScalar) {
+  Interval i(1.0, 2.0);
+  EXPECT_TRUE(i.Contains(1.0));
+  EXPECT_TRUE(i.Contains(1.5));
+  EXPECT_TRUE(i.Contains(2.0));
+  EXPECT_FALSE(i.Contains(0.999));
+  EXPECT_FALSE(i.Contains(2.001));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval outer(0.0, 10.0);
+  EXPECT_TRUE(outer.Contains(Interval(2.0, 3.0)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Interval(-1.0, 3.0)));
+  EXPECT_FALSE(outer.Contains(Interval(5.0, 11.0)));
+}
+
+TEST(IntervalTest, Intersects) {
+  EXPECT_TRUE(Interval(0, 2).Intersects(Interval(2, 3)));
+  EXPECT_TRUE(Interval(0, 5).Intersects(Interval(1, 2)));
+  EXPECT_FALSE(Interval(0, 1).Intersects(Interval(1.5, 2)));
+}
+
+TEST(IntervalTest, Hull) {
+  Interval h = Interval::Hull(Interval(0, 1), Interval(3, 4));
+  EXPECT_EQ(h, Interval(0, 4));
+  EXPECT_EQ(Interval::Hull(Interval(0, 5), Interval(1, 2)), Interval(0, 5));
+}
+
+TEST(IntervalTest, Domination) {
+  // l_p >= h_q is the Drips elimination test.
+  EXPECT_TRUE(Interval(3, 4).DominatesOrEquals(Interval(1, 3)));
+  EXPECT_TRUE(Interval(3, 4).DominatesOrEquals(Interval(1, 2)));
+  EXPECT_FALSE(Interval(2.5, 4).DominatesOrEquals(Interval(1, 3)));
+  EXPECT_TRUE(Interval(3, 4).StrictlyDominates(Interval(1, 2.9)));
+  EXPECT_FALSE(Interval(3, 4).StrictlyDominates(Interval(1, 3)));
+  // Equal points dominate each other (non-strictly).
+  EXPECT_TRUE(Interval::Point(2).DominatesOrEquals(Interval::Point(2)));
+}
+
+TEST(IntervalTest, Negation) {
+  EXPECT_EQ(-Interval(1, 2), Interval(-2, -1));
+  EXPECT_EQ(-Interval::Point(0), Interval::Point(0));
+}
+
+TEST(IntervalTest, Addition) {
+  EXPECT_EQ(Interval(1, 2) + Interval(10, 20), Interval(11, 22));
+}
+
+TEST(IntervalTest, Subtraction) {
+  EXPECT_EQ(Interval(1, 2) - Interval(10, 20), Interval(-19, -8));
+}
+
+TEST(IntervalTest, MultiplicationMixedSigns) {
+  EXPECT_EQ(Interval(-1, 2) * Interval(3, 4), Interval(-4, 8));
+  EXPECT_EQ(Interval(-2, -1) * Interval(-3, 4), Interval(-8, 6));
+}
+
+TEST(IntervalTest, DivisionByPositive) {
+  EXPECT_EQ(Interval(1, 4) / Interval(2, 2), Interval(0.5, 2));
+  EXPECT_EQ(Interval(-4, 4) / Interval(1, 2), Interval(-4, 4));
+}
+
+TEST(IntervalTest, MaxMin) {
+  EXPECT_EQ(Max(Interval(0, 3), Interval(1, 2)), Interval(1, 3));
+  EXPECT_EQ(Min(Interval(0, 3), Interval(1, 2)), Interval(0, 2));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ(Interval(1, 2).ToString(), "[1, 2]");
+}
+
+/// Property: interval arithmetic encloses scalar arithmetic. This is the
+/// contract abstract-plan evaluation relies on (Section 5.1).
+class IntervalEnclosureTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalEnclosureTest, OperationsEncloseSampledScalars) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> bound(-10.0, 10.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    double a1 = bound(rng), a2 = bound(rng);
+    double b1 = bound(rng), b2 = bound(rng);
+    Interval a(std::min(a1, a2), std::max(a1, a2));
+    Interval b(std::min(b1, b2), std::max(b1, b2));
+    std::uniform_real_distribution<double> in_a(a.lo(), a.hi());
+    std::uniform_real_distribution<double> in_b(b.lo(), b.hi());
+    for (int sample = 0; sample < 16; ++sample) {
+      const double x = in_a(rng);
+      const double y = in_b(rng);
+      EXPECT_TRUE((a + b).Contains(x + y));
+      EXPECT_TRUE((a - b).Contains(x - y));
+      const Interval product = a * b;
+      EXPECT_GE(x * y, product.lo() - 1e-9);
+      EXPECT_LE(x * y, product.hi() + 1e-9);
+      EXPECT_TRUE(Max(a, b).Contains(std::max(x, y)));
+      EXPECT_TRUE(Min(a, b).Contains(std::min(x, y)));
+      if (!b.Contains(0.0)) {
+        const Interval quotient = a / b;
+        EXPECT_GE(x / y, quotient.lo() - 1e-9);
+        EXPECT_LE(x / y, quotient.hi() + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalEnclosureTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(IntervalDeathTest, InvalidBoundsAbort) {
+  EXPECT_DEATH(Interval(2.0, 1.0), "invalid interval");
+}
+
+TEST(IntervalDeathTest, DivisionByZeroSpanningIntervalAborts) {
+  EXPECT_DEATH(Interval(1, 2) / Interval(-1, 1), "division");
+}
+
+}  // namespace
+}  // namespace planorder

@@ -1,0 +1,116 @@
+#include "datalog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace planorder::datalog {
+namespace {
+
+TEST(ParserTest, ParsesAtom) {
+  auto atom = ParseAtom("play-in(ford, M)");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->predicate, "play-in");
+  ASSERT_EQ(atom->arity(), 2u);
+  EXPECT_EQ(atom->args[0], Term::Constant("ford"));
+  EXPECT_EQ(atom->args[1], Term::Variable("M"));
+}
+
+TEST(ParserTest, UppercaseIsVariableLowercaseIsConstant) {
+  auto atom = ParseAtom("p(X, x, Movie, movie, X1, x1)");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_TRUE(atom->args[0].is_variable());
+  EXPECT_TRUE(atom->args[1].is_constant());
+  EXPECT_TRUE(atom->args[2].is_variable());
+  EXPECT_TRUE(atom->args[3].is_constant());
+  EXPECT_TRUE(atom->args[4].is_variable());
+  EXPECT_TRUE(atom->args[5].is_constant());
+}
+
+TEST(ParserTest, QuotedConstants) {
+  auto atom = ParseAtom("p('Harrison Ford', 'x(y)')");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->args[0], Term::Constant("Harrison Ford"));
+  EXPECT_EQ(atom->args[1], Term::Constant("x(y)"));
+}
+
+TEST(ParserTest, NumbersAreConstants) {
+  auto atom = ParseAtom("p(42, 3)");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->args[0], Term::Constant("42"));
+}
+
+TEST(ParserTest, FunctionTerms) {
+  auto atom = ParseAtom("p(f_V1_Z(A, b))");
+  ASSERT_TRUE(atom.ok());
+  const Term& t = atom->args[0];
+  ASSERT_TRUE(t.is_function());
+  EXPECT_EQ(t.name(), "f_V1_Z");
+  ASSERT_EQ(t.args().size(), 2u);
+  EXPECT_TRUE(t.args()[0].is_variable());
+  EXPECT_TRUE(t.args()[1].is_constant());
+}
+
+TEST(ParserTest, ZeroArityAtom) {
+  auto atom = ParseAtom("done()");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->arity(), 0u);
+}
+
+TEST(ParserTest, ParsesRule) {
+  auto rule = ParseRule("Q(M,R) :- play-in(ford,M), review-of(R,M).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->head.predicate, "Q");
+  ASSERT_EQ(rule->body.size(), 2u);
+  EXPECT_EQ(rule->body[0].ToString(), "play-in(ford,M)");
+  EXPECT_EQ(rule->body[1].ToString(), "review-of(R,M)");
+}
+
+TEST(ParserTest, FactIsRuleWithEmptyBody) {
+  auto rule = ParseRule("play-in(ford, 'Blade Runner')");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->body.empty());
+  EXPECT_TRUE(rule->head.IsGround());
+}
+
+TEST(ParserTest, ParsesProgramWithComments) {
+  auto program = ParseProgram(R"(
+    % the movie domain of Figure 1
+    v1(A,M) :- play-in(A,M), american(M).
+    v4(R,M) :- review-of(R,M).
+    play-in(ford, witness).
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->size(), 3u);
+  EXPECT_EQ((*program)[0].body.size(), 2u);
+  EXPECT_EQ((*program)[2].body.size(), 0u);
+}
+
+TEST(ParserTest, RejectsMissingParen) {
+  EXPECT_FALSE(ParseAtom("p(a").ok());
+  EXPECT_FALSE(ParseAtom("p a)").ok());
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseAtom("p(a) extra").ok());
+  EXPECT_FALSE(ParseRule("p(X) :- q(X) r(X)").ok());
+}
+
+TEST(ParserTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseAtom("p('oops)").ok());
+}
+
+TEST(ParserTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseAtom("").ok());
+  EXPECT_FALSE(ParseRule("   ").ok());
+}
+
+TEST(ParserTest, RoundTripsThroughToString) {
+  const std::string text = "q(M,R) :- play-in(ford,M), review-of(R,M)";
+  auto rule = ParseRule(text);
+  ASSERT_TRUE(rule.ok());
+  auto reparsed = ParseRule(rule->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*rule, *reparsed);
+}
+
+}  // namespace
+}  // namespace planorder::datalog

@@ -1,0 +1,129 @@
+#include "core/plan_space.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace planorder::core {
+namespace {
+
+stats::Workload MakeWorkload(int query_length, int bucket_size) {
+  stats::WorkloadOptions options;
+  options.query_length = query_length;
+  options.bucket_size = bucket_size;
+  options.seed = 5;
+  auto w = stats::Workload::Generate(options);
+  EXPECT_TRUE(w.ok());
+  return std::move(*w);
+}
+
+std::set<ConcretePlan> AllPlans(const PlanSpace& space) {
+  std::set<ConcretePlan> plans;
+  ConcretePlan plan(space.buckets.size());
+  std::vector<size_t> cursor(space.buckets.size(), 0);
+  while (true) {
+    for (size_t b = 0; b < space.buckets.size(); ++b) {
+      plan[b] = space.buckets[b][cursor[b]];
+    }
+    plans.insert(plan);
+    size_t b = 0;
+    for (; b < space.buckets.size(); ++b) {
+      if (++cursor[b] < space.buckets[b].size()) break;
+      cursor[b] = 0;
+    }
+    if (b == space.buckets.size()) break;
+  }
+  return plans;
+}
+
+TEST(PlanSpaceTest, FullSpaceShape) {
+  stats::Workload w = MakeWorkload(3, 4);
+  PlanSpace space = PlanSpace::FullSpace(w);
+  EXPECT_EQ(space.num_buckets(), 3);
+  EXPECT_EQ(space.NumPlans(), 64u);
+  EXPECT_TRUE(space.Contains({0, 1, 2}));
+  EXPECT_FALSE(space.Contains({0, 1}));
+  EXPECT_FALSE(space.Contains({0, 1, 4}));
+}
+
+TEST(PlanSpaceTest, SplitMatchesPaperExample) {
+  // Figure 2: removing V1V5 from {V1,V2,V3} x {V4,V5,V6} leaves
+  // S3 = {V2,V3} x {V4,V5,V6} and S5 = {V1} x {V4,V6}.
+  PlanSpace s1;
+  s1.buckets = {{0, 1, 2}, {3, 4, 5}};
+  std::vector<PlanSpace> splits = SplitAround(s1, {0, 4});
+  ASSERT_EQ(splits.size(), 2u);
+  EXPECT_EQ(splits[0].buckets, (std::vector<std::vector<int>>{{1, 2}, {3, 4, 5}}));
+  EXPECT_EQ(splits[1].buckets, (std::vector<std::vector<int>>{{0}, {3, 5}}));
+}
+
+TEST(PlanSpaceTest, SplitIsExactPartitionOfRemainder) {
+  stats::Workload w = MakeWorkload(3, 3);
+  PlanSpace space = PlanSpace::FullSpace(w);
+  const ConcretePlan removed = {1, 0, 2};
+  std::set<ConcretePlan> expected = AllPlans(space);
+  expected.erase(removed);
+
+  std::set<ConcretePlan> actual;
+  uint64_t total = 0;
+  for (const PlanSpace& split : SplitAround(space, removed)) {
+    total += split.NumPlans();
+    for (const ConcretePlan& p : AllPlans(split)) {
+      EXPECT_TRUE(actual.insert(p).second) << "plan appears in two splits";
+    }
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(total, expected.size());  // disjointness double-check
+}
+
+TEST(PlanSpaceTest, SplitSingletonSpaceYieldsNothing) {
+  PlanSpace space;
+  space.buckets = {{2}, {5}};
+  EXPECT_TRUE(SplitAround(space, {2, 5}).empty());
+}
+
+TEST(PlanSpaceTest, SplitDropsEmptyBuckets) {
+  PlanSpace space;
+  space.buckets = {{1}, {2, 3}};
+  // Removing (1,2): bucket 0 minus {1} is empty -> only the second split.
+  std::vector<PlanSpace> splits = SplitAround(space, {1, 2});
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].buckets, (std::vector<std::vector<int>>{{1}, {3}}));
+}
+
+TEST(PlanSpaceTest, RepeatedSplittingEnumeratesEverything) {
+  // Keep splitting around an arbitrary member: the spaces must drain to
+  // exactly the full plan set with no duplicates.
+  stats::Workload w = MakeWorkload(2, 4);
+  PlanSpace full = PlanSpace::FullSpace(w);
+  std::set<ConcretePlan> seen;
+  std::vector<PlanSpace> stack = {full};
+  while (!stack.empty()) {
+    PlanSpace space = std::move(stack.back());
+    stack.pop_back();
+    ConcretePlan pick(space.buckets.size());
+    for (size_t b = 0; b < space.buckets.size(); ++b) {
+      pick[b] = space.buckets[b][0];
+    }
+    EXPECT_TRUE(seen.insert(pick).second);
+    for (PlanSpace& split : SplitAround(space, pick)) {
+      stack.push_back(std::move(split));
+    }
+  }
+  EXPECT_EQ(seen.size(), full.NumPlans());
+}
+
+TEST(PlanSpaceDeathTest, SplitAroundForeignPlanAborts) {
+  PlanSpace space;
+  space.buckets = {{0, 1}};
+  EXPECT_DEATH(SplitAround(space, {5}), "not in space");
+}
+
+TEST(PlanSpaceTest, ToStringReadable) {
+  PlanSpace space;
+  space.buckets = {{0, 1}, {2}};
+  EXPECT_EQ(space.ToString(), "{[0,1] x [2]}");
+}
+
+}  // namespace
+}  // namespace planorder::core

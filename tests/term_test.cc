@@ -1,0 +1,99 @@
+#include "datalog/term.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "datalog/atom.h"
+
+namespace planorder::datalog {
+namespace {
+
+TEST(TermTest, Kinds) {
+  EXPECT_TRUE(Term::Variable("X").is_variable());
+  EXPECT_TRUE(Term::Constant("ford").is_constant());
+  EXPECT_TRUE(Term::Function("f", {Term::Variable("X")}).is_function());
+  EXPECT_TRUE(Term().is_constant());  // default
+}
+
+TEST(TermTest, Groundness) {
+  EXPECT_FALSE(Term::Variable("X").IsGround());
+  EXPECT_TRUE(Term::Constant("a").IsGround());
+  EXPECT_TRUE(Term::Function("f", {Term::Constant("a")}).IsGround());
+  EXPECT_FALSE(Term::Function("f", {Term::Variable("X")}).IsGround());
+  EXPECT_FALSE(
+      Term::Function("f", {Term::Function("g", {Term::Variable("X")})})
+          .IsGround());
+}
+
+TEST(TermTest, ToString) {
+  EXPECT_EQ(Term::Variable("Movie").ToString(), "Movie");
+  EXPECT_EQ(Term::Constant("ford").ToString(), "ford");
+  EXPECT_EQ(Term::Constant("play-in").ToString(), "play-in");
+  EXPECT_EQ(Term::Constant("Harrison Ford").ToString(), "'Harrison Ford'");
+  EXPECT_EQ(Term::Constant("").ToString(), "''");
+  EXPECT_EQ(
+      Term::Function("f_V1_Z", {Term::Constant("a"), Term::Variable("X")})
+          .ToString(),
+      "f_V1_Z(a,X)");
+}
+
+TEST(TermTest, EqualityDistinguishesKinds) {
+  EXPECT_EQ(Term::Variable("X"), Term::Variable("X"));
+  EXPECT_NE(Term::Variable("X"), Term::Constant("X"));
+  EXPECT_NE(Term::Variable("X"), Term::Variable("Y"));
+  EXPECT_EQ(Term::Function("f", {Term::Constant("a")}),
+            Term::Function("f", {Term::Constant("a")}));
+  EXPECT_NE(Term::Function("f", {Term::Constant("a")}),
+            Term::Function("f", {Term::Constant("b")}));
+}
+
+TEST(TermTest, OrderingIsTotal) {
+  Term a = Term::Constant("a");
+  Term b = Term::Constant("b");
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(TermTest, HashingConsistentWithEquality) {
+  TermHash hash;
+  EXPECT_EQ(hash(Term::Constant("a")), hash(Term::Constant("a")));
+  EXPECT_NE(hash(Term::Constant("a")), hash(Term::Variable("a")));
+  std::unordered_set<Term, TermHash> set;
+  set.insert(Term::Constant("a"));
+  set.insert(Term::Constant("a"));
+  set.insert(Term::Constant("b"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AtomTest, BasicsAndVariables) {
+  Atom atom("play-in", {Term::Constant("ford"), Term::Variable("M")});
+  EXPECT_EQ(atom.arity(), 2u);
+  EXPECT_FALSE(atom.IsGround());
+  EXPECT_EQ(atom.ToString(), "play-in(ford,M)");
+  std::set<std::string> vars;
+  atom.CollectVariables(vars);
+  EXPECT_EQ(vars, std::set<std::string>{"M"});
+}
+
+TEST(AtomTest, VariablesInsideFunctionTerms) {
+  Atom atom("p", {Term::Function("f", {Term::Variable("X"),
+                                       Term::Function("g", {Term::Variable("Y")})})});
+  std::set<std::string> vars;
+  atom.CollectVariables(vars);
+  EXPECT_EQ(vars, (std::set<std::string>{"X", "Y"}));
+}
+
+TEST(AtomTest, EqualityAndOrdering) {
+  Atom a("p", {Term::Constant("a")});
+  Atom b("p", {Term::Constant("b")});
+  Atom q("q", {Term::Constant("a")});
+  EXPECT_EQ(a, a);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < q);
+}
+
+}  // namespace
+}  // namespace planorder::datalog

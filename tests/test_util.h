@@ -1,0 +1,65 @@
+#ifndef PLANORDER_TESTS_TEST_UTIL_H_
+#define PLANORDER_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/idrips.h"
+#include "core/orderer.h"
+#include "core/pi.h"
+#include "core/streamer.h"
+#include "utility/cost_models.h"
+#include "utility/coverage_model.h"
+#include "utility/measures.h"
+
+namespace planorder::test {
+
+inline stats::Workload MakeWorkload(int query_length, int bucket_size,
+                                    double overlap, uint64_t seed) {
+  stats::WorkloadOptions options;
+  options.query_length = query_length;
+  options.bucket_size = bucket_size;
+  options.overlap_rate = overlap;
+  options.regions_per_bucket = 12;
+  options.seed = seed;
+  auto w = stats::Workload::Generate(options);
+  EXPECT_TRUE(w.ok()) << w.status();
+  return std::move(*w);
+}
+
+/// The utility measures of Section 6, via the library factory.
+using Measure = utility::MeasureKind;
+
+inline std::string MeasureName(Measure m) {
+  return utility::MeasureKindName(m);
+}
+
+inline std::unique_ptr<utility::UtilityModel> MustMakeMeasure(
+    Measure measure, const stats::Workload* w) {
+  auto model = ::planorder::utility::MakeMeasure(measure, w);
+  EXPECT_TRUE(model.ok()) << model.status();
+  return std::move(*model);
+}
+
+/// Emits up to `k` plans from `orderer` (all plans when k < 0).
+inline std::vector<core::OrderedPlan> Drain(core::Orderer& orderer,
+                                            int k = -1) {
+  std::vector<core::OrderedPlan> plans;
+  while (k < 0 || static_cast<int>(plans.size()) < k) {
+    auto next = orderer.Next();
+    if (!next.ok()) {
+      EXPECT_EQ(next.status().code(), StatusCode::kNotFound) << next.status();
+      break;
+    }
+    plans.push_back(*next);
+  }
+  return plans;
+}
+
+}  // namespace planorder::test
+
+#endif  // PLANORDER_TESTS_TEST_UTIL_H_

@@ -1,0 +1,138 @@
+#include "datalog/unify.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace planorder::datalog {
+namespace {
+
+Atom MustAtom(std::string_view text) {
+  auto atom = ParseAtom(text);
+  EXPECT_TRUE(atom.ok()) << atom.status();
+  return *atom;
+}
+
+TEST(UnifyTest, VariableBindsConstant) {
+  Substitution subst;
+  ASSERT_TRUE(UnifyTerms(Term::Variable("X"), Term::Constant("a"), subst));
+  EXPECT_EQ(ApplySubstitution(Term::Variable("X"), subst), Term::Constant("a"));
+}
+
+TEST(UnifyTest, ConstantsMustMatch) {
+  Substitution subst;
+  EXPECT_TRUE(UnifyTerms(Term::Constant("a"), Term::Constant("a"), subst));
+  EXPECT_FALSE(UnifyTerms(Term::Constant("a"), Term::Constant("b"), subst));
+}
+
+TEST(UnifyTest, VariableAliasing) {
+  Substitution subst;
+  ASSERT_TRUE(UnifyTerms(Term::Variable("X"), Term::Variable("Y"), subst));
+  ASSERT_TRUE(UnifyTerms(Term::Variable("Y"), Term::Constant("c"), subst));
+  EXPECT_EQ(ApplySubstitution(Term::Variable("X"), subst), Term::Constant("c"));
+}
+
+TEST(UnifyTest, SelfUnificationIsNoop) {
+  Substitution subst;
+  EXPECT_TRUE(UnifyTerms(Term::Variable("X"), Term::Variable("X"), subst));
+  EXPECT_TRUE(subst.empty());
+}
+
+TEST(UnifyTest, ConflictFails) {
+  Substitution subst;
+  ASSERT_TRUE(UnifyTerms(Term::Variable("X"), Term::Constant("a"), subst));
+  EXPECT_FALSE(UnifyTerms(Term::Variable("X"), Term::Constant("b"), subst));
+}
+
+TEST(UnifyTest, FunctionTermsUnifyRecursively) {
+  Substitution subst;
+  Term f1 = Term::Function("f", {Term::Variable("X"), Term::Constant("b")});
+  Term f2 = Term::Function("f", {Term::Constant("a"), Term::Variable("Y")});
+  ASSERT_TRUE(UnifyTerms(f1, f2, subst));
+  EXPECT_EQ(ApplySubstitution(Term::Variable("X"), subst), Term::Constant("a"));
+  EXPECT_EQ(ApplySubstitution(Term::Variable("Y"), subst), Term::Constant("b"));
+}
+
+TEST(UnifyTest, FunctionNameMismatchFails) {
+  Substitution subst;
+  EXPECT_FALSE(UnifyTerms(Term::Function("f", {Term::Constant("a")}),
+                          Term::Function("g", {Term::Constant("a")}), subst));
+}
+
+TEST(UnifyTest, OccursCheckPreventsCycles) {
+  Substitution subst;
+  EXPECT_FALSE(UnifyTerms(Term::Variable("X"),
+                          Term::Function("f", {Term::Variable("X")}), subst));
+}
+
+TEST(UnifyTest, AtomsUnify) {
+  Substitution subst;
+  ASSERT_TRUE(
+      UnifyAtoms(MustAtom("p(X, b)"), MustAtom("p(a, Y)"), subst));
+  EXPECT_EQ(ApplySubstitution(MustAtom("q(X, Y)"), subst).ToString(),
+            "q(a,b)");
+}
+
+TEST(UnifyTest, AtomPredicateOrArityMismatchFails) {
+  Substitution subst;
+  EXPECT_FALSE(UnifyAtoms(MustAtom("p(X)"), MustAtom("q(X)"), subst));
+  EXPECT_FALSE(UnifyAtoms(MustAtom("p(X)"), MustAtom("p(X, Y)"), subst));
+}
+
+TEST(UnifyTest, SharedVariableAcrossArguments) {
+  Substitution subst;
+  // p(X, X) against p(a, b) must fail; against p(a, a) must succeed.
+  EXPECT_FALSE(UnifyAtoms(MustAtom("p(X, X)"), MustAtom("p(a, b)"), subst));
+  Substitution subst2;
+  EXPECT_TRUE(UnifyAtoms(MustAtom("p(X, X)"), MustAtom("p(a, a)"), subst2));
+}
+
+TEST(MatchTest, BindsPatternVariablesOnly) {
+  Substitution subst;
+  ASSERT_TRUE(MatchAtom(MustAtom("p(X, Y)"), MustAtom("p(a, Z)"), subst));
+  EXPECT_EQ(subst.at("X"), Term::Constant("a"));
+  // Y bound to the frozen variable Z; Z itself is never bound.
+  EXPECT_EQ(subst.at("Y"), Term::Variable("Z"));
+  EXPECT_FALSE(subst.contains("Z"));
+}
+
+TEST(MatchTest, FrozenTargetVariableIsOpaque) {
+  // Pattern variable already bound to frozen Z must not re-unify Z.
+  Substitution subst;
+  ASSERT_TRUE(MatchTerm(Term::Variable("X"), Term::Variable("Z"), subst));
+  EXPECT_TRUE(MatchTerm(Term::Variable("X"), Term::Variable("Z"), subst));
+  EXPECT_FALSE(MatchTerm(Term::Variable("X"), Term::Constant("a"), subst));
+}
+
+TEST(MatchTest, RepeatedPatternVariableRequiresEqualTargets) {
+  Substitution subst;
+  EXPECT_FALSE(MatchAtom(MustAtom("p(X, X)"), MustAtom("p(a, b)"), subst));
+  Substitution subst2;
+  EXPECT_TRUE(MatchAtom(MustAtom("p(X, X)"), MustAtom("p(a, a)"), subst2));
+}
+
+TEST(MatchTest, ConstantPatternMatchesOnlyItself) {
+  Substitution subst;
+  EXPECT_TRUE(MatchTerm(Term::Constant("a"), Term::Constant("a"), subst));
+  EXPECT_FALSE(MatchTerm(Term::Constant("a"), Term::Constant("b"), subst));
+  EXPECT_FALSE(MatchTerm(Term::Constant("a"), Term::Variable("X"), subst));
+}
+
+TEST(ApplySubstitutionTest, ResolvesChains) {
+  Substitution subst;
+  subst["X"] = Term::Variable("Y");
+  subst["Y"] = Term::Variable("Z");
+  subst["Z"] = Term::Constant("end");
+  EXPECT_EQ(ApplySubstitution(Term::Variable("X"), subst),
+            Term::Constant("end"));
+}
+
+TEST(ApplySubstitutionTest, DescendsIntoFunctionTerms) {
+  Substitution subst;
+  subst["X"] = Term::Constant("a");
+  Term t = Term::Function("f", {Term::Variable("X"), Term::Variable("Y")});
+  EXPECT_EQ(ApplySubstitution(t, subst).ToString(), "f(a,Y)");
+}
+
+}  // namespace
+}  // namespace planorder::datalog
