@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abstraction_ablation.dir/bench_abstraction_ablation.cc.o"
+  "CMakeFiles/bench_abstraction_ablation.dir/bench_abstraction_ablation.cc.o.d"
+  "bench_abstraction_ablation"
+  "bench_abstraction_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abstraction_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_vs_incremental.dir/bench_batch_vs_incremental.cc.o"
+  "CMakeFiles/bench_batch_vs_incremental.dir/bench_batch_vs_incremental.cc.o.d"
+  "bench_batch_vs_incremental"
+  "bench_batch_vs_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_vs_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

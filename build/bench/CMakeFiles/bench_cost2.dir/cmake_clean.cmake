@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost2.dir/bench_cost2.cc.o"
+  "CMakeFiles/bench_cost2.dir/bench_cost2.cc.o.d"
+  "bench_cost2"
+  "bench_cost2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

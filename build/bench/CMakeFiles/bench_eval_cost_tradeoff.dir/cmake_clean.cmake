@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eval_cost_tradeoff.dir/bench_eval_cost_tradeoff.cc.o"
+  "CMakeFiles/bench_eval_cost_tradeoff.dir/bench_eval_cost_tradeoff.cc.o.d"
+  "bench_eval_cost_tradeoff"
+  "bench_eval_cost_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval_cost_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eval_counts.dir/bench_eval_counts.cc.o"
+  "CMakeFiles/bench_eval_counts.dir/bench_eval_counts.cc.o.d"
+  "bench_eval_counts"
+  "bench_eval_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_failure_nocache.dir/bench_fig6_failure_nocache.cc.o"
+  "CMakeFiles/bench_fig6_failure_nocache.dir/bench_fig6_failure_nocache.cc.o.d"
+  "bench_fig6_failure_nocache"
+  "bench_fig6_failure_nocache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_failure_nocache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_monetary.dir/bench_fig6_monetary.cc.o"
+  "CMakeFiles/bench_fig6_monetary.dir/bench_fig6_monetary.cc.o.d"
+  "bench_fig6_monetary"
+  "bench_fig6_monetary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_monetary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

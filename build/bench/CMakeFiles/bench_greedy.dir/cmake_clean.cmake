@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_greedy.dir/bench_greedy.cc.o"
+  "CMakeFiles/bench_greedy.dir/bench_greedy.cc.o.d"
+  "bench_greedy"
+  "bench_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

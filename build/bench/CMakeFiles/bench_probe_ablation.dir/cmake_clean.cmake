@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_probe_ablation.dir/bench_probe_ablation.cc.o"
+  "CMakeFiles/bench_probe_ablation.dir/bench_probe_ablation.cc.o.d"
+  "bench_probe_ablation"
+  "bench_probe_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probe_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

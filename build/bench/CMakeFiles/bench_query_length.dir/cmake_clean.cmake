@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_length.dir/bench_query_length.cc.o"
+  "CMakeFiles/bench_query_length.dir/bench_query_length.cc.o.d"
+  "bench_query_length"
+  "bench_query_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

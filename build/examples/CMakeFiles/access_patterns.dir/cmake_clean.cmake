@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_patterns.dir/access_patterns.cpp.o"
+  "CMakeFiles/access_patterns.dir/access_patterns.cpp.o.d"
+  "access_patterns"
+  "access_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_shopping.dir/camera_shopping.cpp.o"
+  "CMakeFiles/camera_shopping.dir/camera_shopping.cpp.o.d"
+  "camera_shopping"
+  "camera_shopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_shopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

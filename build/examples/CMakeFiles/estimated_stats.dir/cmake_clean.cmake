@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimated_stats.dir/estimated_stats.cpp.o"
+  "CMakeFiles/estimated_stats.dir/estimated_stats.cpp.o.d"
+  "estimated_stats"
+  "estimated_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimated_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

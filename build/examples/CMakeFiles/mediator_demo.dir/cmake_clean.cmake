@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediator_demo.dir/mediator_demo.cpp.o"
+  "CMakeFiles/mediator_demo.dir/mediator_demo.cpp.o.d"
+  "mediator_demo"
+  "mediator_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediator_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicon_demo.dir/minicon_demo.cpp.o"
+  "CMakeFiles/minicon_demo.dir/minicon_demo.cpp.o.d"
+  "minicon_demo"
+  "minicon_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicon_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planorder_cli.dir/planorder_cli.cpp.o"
+  "CMakeFiles/planorder_cli.dir/planorder_cli.cpp.o.d"
+  "planorder_cli"
+  "planorder_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planorder_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planorder_base.dir/interval.cc.o"
+  "CMakeFiles/planorder_base.dir/interval.cc.o.d"
+  "CMakeFiles/planorder_base.dir/status.cc.o"
+  "CMakeFiles/planorder_base.dir/status.cc.o.d"
+  "libplanorder_base.a"
+  "libplanorder_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planorder_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplanorder_base.a"
+)

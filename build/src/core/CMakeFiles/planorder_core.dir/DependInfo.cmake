@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abstraction.cc" "src/core/CMakeFiles/planorder_core.dir/abstraction.cc.o" "gcc" "src/core/CMakeFiles/planorder_core.dir/abstraction.cc.o.d"
+  "/root/repo/src/core/batch_topk.cc" "src/core/CMakeFiles/planorder_core.dir/batch_topk.cc.o" "gcc" "src/core/CMakeFiles/planorder_core.dir/batch_topk.cc.o.d"
+  "/root/repo/src/core/drips.cc" "src/core/CMakeFiles/planorder_core.dir/drips.cc.o" "gcc" "src/core/CMakeFiles/planorder_core.dir/drips.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/core/CMakeFiles/planorder_core.dir/greedy.cc.o" "gcc" "src/core/CMakeFiles/planorder_core.dir/greedy.cc.o.d"
+  "/root/repo/src/core/idrips.cc" "src/core/CMakeFiles/planorder_core.dir/idrips.cc.o" "gcc" "src/core/CMakeFiles/planorder_core.dir/idrips.cc.o.d"
+  "/root/repo/src/core/merged.cc" "src/core/CMakeFiles/planorder_core.dir/merged.cc.o" "gcc" "src/core/CMakeFiles/planorder_core.dir/merged.cc.o.d"
+  "/root/repo/src/core/pi.cc" "src/core/CMakeFiles/planorder_core.dir/pi.cc.o" "gcc" "src/core/CMakeFiles/planorder_core.dir/pi.cc.o.d"
+  "/root/repo/src/core/plan_space.cc" "src/core/CMakeFiles/planorder_core.dir/plan_space.cc.o" "gcc" "src/core/CMakeFiles/planorder_core.dir/plan_space.cc.o.d"
+  "/root/repo/src/core/streamer.cc" "src/core/CMakeFiles/planorder_core.dir/streamer.cc.o" "gcc" "src/core/CMakeFiles/planorder_core.dir/streamer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/utility/CMakeFiles/planorder_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/planorder_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/planorder_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

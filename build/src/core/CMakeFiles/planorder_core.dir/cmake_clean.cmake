@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planorder_core.dir/abstraction.cc.o"
+  "CMakeFiles/planorder_core.dir/abstraction.cc.o.d"
+  "CMakeFiles/planorder_core.dir/batch_topk.cc.o"
+  "CMakeFiles/planorder_core.dir/batch_topk.cc.o.d"
+  "CMakeFiles/planorder_core.dir/drips.cc.o"
+  "CMakeFiles/planorder_core.dir/drips.cc.o.d"
+  "CMakeFiles/planorder_core.dir/greedy.cc.o"
+  "CMakeFiles/planorder_core.dir/greedy.cc.o.d"
+  "CMakeFiles/planorder_core.dir/idrips.cc.o"
+  "CMakeFiles/planorder_core.dir/idrips.cc.o.d"
+  "CMakeFiles/planorder_core.dir/merged.cc.o"
+  "CMakeFiles/planorder_core.dir/merged.cc.o.d"
+  "CMakeFiles/planorder_core.dir/pi.cc.o"
+  "CMakeFiles/planorder_core.dir/pi.cc.o.d"
+  "CMakeFiles/planorder_core.dir/plan_space.cc.o"
+  "CMakeFiles/planorder_core.dir/plan_space.cc.o.d"
+  "CMakeFiles/planorder_core.dir/streamer.cc.o"
+  "CMakeFiles/planorder_core.dir/streamer.cc.o.d"
+  "libplanorder_core.a"
+  "libplanorder_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planorder_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

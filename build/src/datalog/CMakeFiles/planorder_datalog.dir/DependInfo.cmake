@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/atom.cc" "src/datalog/CMakeFiles/planorder_datalog.dir/atom.cc.o" "gcc" "src/datalog/CMakeFiles/planorder_datalog.dir/atom.cc.o.d"
+  "/root/repo/src/datalog/builtins.cc" "src/datalog/CMakeFiles/planorder_datalog.dir/builtins.cc.o" "gcc" "src/datalog/CMakeFiles/planorder_datalog.dir/builtins.cc.o.d"
+  "/root/repo/src/datalog/conjunctive_query.cc" "src/datalog/CMakeFiles/planorder_datalog.dir/conjunctive_query.cc.o" "gcc" "src/datalog/CMakeFiles/planorder_datalog.dir/conjunctive_query.cc.o.d"
+  "/root/repo/src/datalog/containment.cc" "src/datalog/CMakeFiles/planorder_datalog.dir/containment.cc.o" "gcc" "src/datalog/CMakeFiles/planorder_datalog.dir/containment.cc.o.d"
+  "/root/repo/src/datalog/evaluator.cc" "src/datalog/CMakeFiles/planorder_datalog.dir/evaluator.cc.o" "gcc" "src/datalog/CMakeFiles/planorder_datalog.dir/evaluator.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/datalog/CMakeFiles/planorder_datalog.dir/parser.cc.o" "gcc" "src/datalog/CMakeFiles/planorder_datalog.dir/parser.cc.o.d"
+  "/root/repo/src/datalog/source.cc" "src/datalog/CMakeFiles/planorder_datalog.dir/source.cc.o" "gcc" "src/datalog/CMakeFiles/planorder_datalog.dir/source.cc.o.d"
+  "/root/repo/src/datalog/term.cc" "src/datalog/CMakeFiles/planorder_datalog.dir/term.cc.o" "gcc" "src/datalog/CMakeFiles/planorder_datalog.dir/term.cc.o.d"
+  "/root/repo/src/datalog/unify.cc" "src/datalog/CMakeFiles/planorder_datalog.dir/unify.cc.o" "gcc" "src/datalog/CMakeFiles/planorder_datalog.dir/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/planorder_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planorder_datalog.dir/atom.cc.o"
+  "CMakeFiles/planorder_datalog.dir/atom.cc.o.d"
+  "CMakeFiles/planorder_datalog.dir/builtins.cc.o"
+  "CMakeFiles/planorder_datalog.dir/builtins.cc.o.d"
+  "CMakeFiles/planorder_datalog.dir/conjunctive_query.cc.o"
+  "CMakeFiles/planorder_datalog.dir/conjunctive_query.cc.o.d"
+  "CMakeFiles/planorder_datalog.dir/containment.cc.o"
+  "CMakeFiles/planorder_datalog.dir/containment.cc.o.d"
+  "CMakeFiles/planorder_datalog.dir/evaluator.cc.o"
+  "CMakeFiles/planorder_datalog.dir/evaluator.cc.o.d"
+  "CMakeFiles/planorder_datalog.dir/parser.cc.o"
+  "CMakeFiles/planorder_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/planorder_datalog.dir/source.cc.o"
+  "CMakeFiles/planorder_datalog.dir/source.cc.o.d"
+  "CMakeFiles/planorder_datalog.dir/term.cc.o"
+  "CMakeFiles/planorder_datalog.dir/term.cc.o.d"
+  "CMakeFiles/planorder_datalog.dir/unify.cc.o"
+  "CMakeFiles/planorder_datalog.dir/unify.cc.o.d"
+  "libplanorder_datalog.a"
+  "libplanorder_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planorder_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/dependent_join.cc" "src/exec/CMakeFiles/planorder_exec.dir/dependent_join.cc.o" "gcc" "src/exec/CMakeFiles/planorder_exec.dir/dependent_join.cc.o.d"
+  "/root/repo/src/exec/mediator.cc" "src/exec/CMakeFiles/planorder_exec.dir/mediator.cc.o" "gcc" "src/exec/CMakeFiles/planorder_exec.dir/mediator.cc.o.d"
+  "/root/repo/src/exec/pipeline.cc" "src/exec/CMakeFiles/planorder_exec.dir/pipeline.cc.o" "gcc" "src/exec/CMakeFiles/planorder_exec.dir/pipeline.cc.o.d"
+  "/root/repo/src/exec/source_access.cc" "src/exec/CMakeFiles/planorder_exec.dir/source_access.cc.o" "gcc" "src/exec/CMakeFiles/planorder_exec.dir/source_access.cc.o.d"
+  "/root/repo/src/exec/synthetic_domain.cc" "src/exec/CMakeFiles/planorder_exec.dir/synthetic_domain.cc.o" "gcc" "src/exec/CMakeFiles/planorder_exec.dir/synthetic_domain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/planorder_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reformulation/CMakeFiles/planorder_reformulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/utility/CMakeFiles/planorder_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/planorder_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/planorder_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/planorder_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

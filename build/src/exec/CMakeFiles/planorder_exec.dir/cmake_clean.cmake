@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planorder_exec.dir/dependent_join.cc.o"
+  "CMakeFiles/planorder_exec.dir/dependent_join.cc.o.d"
+  "CMakeFiles/planorder_exec.dir/mediator.cc.o"
+  "CMakeFiles/planorder_exec.dir/mediator.cc.o.d"
+  "CMakeFiles/planorder_exec.dir/pipeline.cc.o"
+  "CMakeFiles/planorder_exec.dir/pipeline.cc.o.d"
+  "CMakeFiles/planorder_exec.dir/source_access.cc.o"
+  "CMakeFiles/planorder_exec.dir/source_access.cc.o.d"
+  "CMakeFiles/planorder_exec.dir/synthetic_domain.cc.o"
+  "CMakeFiles/planorder_exec.dir/synthetic_domain.cc.o.d"
+  "libplanorder_exec.a"
+  "libplanorder_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planorder_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reformulation/bucket.cc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/bucket.cc.o" "gcc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/bucket.cc.o.d"
+  "/root/repo/src/reformulation/executable_order.cc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/executable_order.cc.o" "gcc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/executable_order.cc.o.d"
+  "/root/repo/src/reformulation/inverse_rules.cc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/inverse_rules.cc.o" "gcc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/inverse_rules.cc.o.d"
+  "/root/repo/src/reformulation/minicon.cc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/minicon.cc.o" "gcc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/minicon.cc.o.d"
+  "/root/repo/src/reformulation/minicon_ordering.cc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/minicon_ordering.cc.o" "gcc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/minicon_ordering.cc.o.d"
+  "/root/repo/src/reformulation/rewriting.cc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/rewriting.cc.o" "gcc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/rewriting.cc.o.d"
+  "/root/repo/src/reformulation/statistics.cc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/statistics.cc.o" "gcc" "src/reformulation/CMakeFiles/planorder_reformulation.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/planorder_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/planorder_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/planorder_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planorder_reformulation.dir/bucket.cc.o"
+  "CMakeFiles/planorder_reformulation.dir/bucket.cc.o.d"
+  "CMakeFiles/planorder_reformulation.dir/executable_order.cc.o"
+  "CMakeFiles/planorder_reformulation.dir/executable_order.cc.o.d"
+  "CMakeFiles/planorder_reformulation.dir/inverse_rules.cc.o"
+  "CMakeFiles/planorder_reformulation.dir/inverse_rules.cc.o.d"
+  "CMakeFiles/planorder_reformulation.dir/minicon.cc.o"
+  "CMakeFiles/planorder_reformulation.dir/minicon.cc.o.d"
+  "CMakeFiles/planorder_reformulation.dir/minicon_ordering.cc.o"
+  "CMakeFiles/planorder_reformulation.dir/minicon_ordering.cc.o.d"
+  "CMakeFiles/planorder_reformulation.dir/rewriting.cc.o"
+  "CMakeFiles/planorder_reformulation.dir/rewriting.cc.o.d"
+  "CMakeFiles/planorder_reformulation.dir/statistics.cc.o"
+  "CMakeFiles/planorder_reformulation.dir/statistics.cc.o.d"
+  "libplanorder_reformulation.a"
+  "libplanorder_reformulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planorder_reformulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

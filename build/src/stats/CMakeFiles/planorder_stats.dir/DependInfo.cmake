@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/coverage_universe.cc" "src/stats/CMakeFiles/planorder_stats.dir/coverage_universe.cc.o" "gcc" "src/stats/CMakeFiles/planorder_stats.dir/coverage_universe.cc.o.d"
+  "/root/repo/src/stats/source_stats.cc" "src/stats/CMakeFiles/planorder_stats.dir/source_stats.cc.o" "gcc" "src/stats/CMakeFiles/planorder_stats.dir/source_stats.cc.o.d"
+  "/root/repo/src/stats/workload.cc" "src/stats/CMakeFiles/planorder_stats.dir/workload.cc.o" "gcc" "src/stats/CMakeFiles/planorder_stats.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/planorder_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planorder_stats.dir/coverage_universe.cc.o"
+  "CMakeFiles/planorder_stats.dir/coverage_universe.cc.o.d"
+  "CMakeFiles/planorder_stats.dir/source_stats.cc.o"
+  "CMakeFiles/planorder_stats.dir/source_stats.cc.o.d"
+  "CMakeFiles/planorder_stats.dir/workload.cc.o"
+  "CMakeFiles/planorder_stats.dir/workload.cc.o.d"
+  "libplanorder_stats.a"
+  "libplanorder_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planorder_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

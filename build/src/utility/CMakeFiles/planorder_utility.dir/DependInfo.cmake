@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/utility/combined_model.cc" "src/utility/CMakeFiles/planorder_utility.dir/combined_model.cc.o" "gcc" "src/utility/CMakeFiles/planorder_utility.dir/combined_model.cc.o.d"
+  "/root/repo/src/utility/cost_models.cc" "src/utility/CMakeFiles/planorder_utility.dir/cost_models.cc.o" "gcc" "src/utility/CMakeFiles/planorder_utility.dir/cost_models.cc.o.d"
+  "/root/repo/src/utility/coverage_model.cc" "src/utility/CMakeFiles/planorder_utility.dir/coverage_model.cc.o" "gcc" "src/utility/CMakeFiles/planorder_utility.dir/coverage_model.cc.o.d"
+  "/root/repo/src/utility/measures.cc" "src/utility/CMakeFiles/planorder_utility.dir/measures.cc.o" "gcc" "src/utility/CMakeFiles/planorder_utility.dir/measures.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/planorder_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/planorder_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planorder_utility.dir/combined_model.cc.o"
+  "CMakeFiles/planorder_utility.dir/combined_model.cc.o.d"
+  "CMakeFiles/planorder_utility.dir/cost_models.cc.o"
+  "CMakeFiles/planorder_utility.dir/cost_models.cc.o.d"
+  "CMakeFiles/planorder_utility.dir/coverage_model.cc.o"
+  "CMakeFiles/planorder_utility.dir/coverage_model.cc.o.d"
+  "CMakeFiles/planorder_utility.dir/measures.cc.o"
+  "CMakeFiles/planorder_utility.dir/measures.cc.o.d"
+  "libplanorder_utility.a"
+  "libplanorder_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planorder_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

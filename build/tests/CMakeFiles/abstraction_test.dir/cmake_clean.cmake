@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstraction_test.dir/abstraction_test.cc.o"
+  "CMakeFiles/abstraction_test.dir/abstraction_test.cc.o.d"
+  "abstraction_test"
+  "abstraction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

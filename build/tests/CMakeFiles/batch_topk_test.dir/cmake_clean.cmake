@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_topk_test.dir/batch_topk_test.cc.o"
+  "CMakeFiles/batch_topk_test.dir/batch_topk_test.cc.o.d"
+  "batch_topk_test"
+  "batch_topk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combined_model_test.dir/combined_model_test.cc.o"
+  "CMakeFiles/combined_model_test.dir/combined_model_test.cc.o.d"
+  "combined_model_test"
+  "combined_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combined_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

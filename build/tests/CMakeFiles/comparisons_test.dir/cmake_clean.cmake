@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparisons_test.dir/comparisons_test.cc.o"
+  "CMakeFiles/comparisons_test.dir/comparisons_test.cc.o.d"
+  "comparisons_test"
+  "comparisons_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparisons_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

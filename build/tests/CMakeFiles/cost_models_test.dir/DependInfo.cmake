@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cost_models_test.cc" "tests/CMakeFiles/cost_models_test.dir/cost_models_test.cc.o" "gcc" "tests/CMakeFiles/cost_models_test.dir/cost_models_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/planorder_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/reformulation/CMakeFiles/planorder_reformulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/planorder_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/planorder_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/utility/CMakeFiles/planorder_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/planorder_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/planorder_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_models_test.dir/cost_models_test.cc.o"
+  "CMakeFiles/cost_models_test.dir/cost_models_test.cc.o.d"
+  "cost_models_test"
+  "cost_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_model_test.dir/coverage_model_test.cc.o"
+  "CMakeFiles/coverage_model_test.dir/coverage_model_test.cc.o.d"
+  "coverage_model_test"
+  "coverage_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_universe_test.dir/coverage_universe_test.cc.o"
+  "CMakeFiles/coverage_universe_test.dir/coverage_universe_test.cc.o.d"
+  "coverage_universe_test"
+  "coverage_universe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_universe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependent_join_test.dir/dependent_join_test.cc.o"
+  "CMakeFiles/dependent_join_test.dir/dependent_join_test.cc.o.d"
+  "dependent_join_test"
+  "dependent_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependent_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

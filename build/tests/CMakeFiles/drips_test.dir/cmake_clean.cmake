@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drips_test.dir/drips_test.cc.o"
+  "CMakeFiles/drips_test.dir/drips_test.cc.o.d"
+  "drips_test"
+  "drips_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drips_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executable_order_test.dir/executable_order_test.cc.o"
+  "CMakeFiles/executable_order_test.dir/executable_order_test.cc.o.d"
+  "executable_order_test"
+  "executable_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executable_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

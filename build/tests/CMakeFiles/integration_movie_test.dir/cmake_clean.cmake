@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_movie_test.dir/integration_movie_test.cc.o"
+  "CMakeFiles/integration_movie_test.dir/integration_movie_test.cc.o.d"
+  "integration_movie_test"
+  "integration_movie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_movie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

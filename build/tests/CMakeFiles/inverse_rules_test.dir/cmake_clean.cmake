@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverse_rules_test.dir/inverse_rules_test.cc.o"
+  "CMakeFiles/inverse_rules_test.dir/inverse_rules_test.cc.o.d"
+  "inverse_rules_test"
+  "inverse_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverse_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

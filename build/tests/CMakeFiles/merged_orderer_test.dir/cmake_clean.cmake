@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merged_orderer_test.dir/merged_orderer_test.cc.o"
+  "CMakeFiles/merged_orderer_test.dir/merged_orderer_test.cc.o.d"
+  "merged_orderer_test"
+  "merged_orderer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merged_orderer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

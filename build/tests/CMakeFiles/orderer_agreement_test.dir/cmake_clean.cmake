@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderer_agreement_test.dir/orderer_agreement_test.cc.o"
+  "CMakeFiles/orderer_agreement_test.dir/orderer_agreement_test.cc.o.d"
+  "orderer_agreement_test"
+  "orderer_agreement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderer_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderer_edge_test.dir/orderer_edge_test.cc.o"
+  "CMakeFiles/orderer_edge_test.dir/orderer_edge_test.cc.o.d"
+  "orderer_edge_test"
+  "orderer_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderer_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

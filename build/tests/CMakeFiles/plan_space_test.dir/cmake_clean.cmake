@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_space_test.dir/plan_space_test.cc.o"
+  "CMakeFiles/plan_space_test.dir/plan_space_test.cc.o.d"
+  "plan_space_test"
+  "plan_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reformulation_fuzz_test.dir/reformulation_fuzz_test.cc.o"
+  "CMakeFiles/reformulation_fuzz_test.dir/reformulation_fuzz_test.cc.o.d"
+  "reformulation_fuzz_test"
+  "reformulation_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reformulation_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

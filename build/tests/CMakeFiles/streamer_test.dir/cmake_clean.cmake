@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamer_test.dir/streamer_test.cc.o"
+  "CMakeFiles/streamer_test.dir/streamer_test.cc.o.d"
+  "streamer_test"
+  "streamer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_domain_test.dir/synthetic_domain_test.cc.o"
+  "CMakeFiles/synthetic_domain_test.dir/synthetic_domain_test.cc.o.d"
+  "synthetic_domain_test"
+  "synthetic_domain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_test.dir/unify_test.cc.o"
+  "CMakeFiles/unify_test.dir/unify_test.cc.o.d"
+  "unify_test"
+  "unify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
