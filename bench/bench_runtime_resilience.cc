@@ -1,0 +1,248 @@
+/// Benchmark of the resilient concurrent source-access runtime
+/// (src/runtime/): sweeps injected per-call latency and transient failure
+/// rates over a synthetic integration domain and reports, as JSON
+/// (BENCH_runtime.json),
+///   - serial vs parallel wall-clock time of a full mediation run
+///     (time_dilation = 1.0: simulated source latency is really slept), and
+///   - answers recovered when sources are permanently killed mid-workload
+///     (graceful degradation instead of an aborted run).
+///
+/// Usage: bench_runtime_resilience [output.json]
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "core/streamer.h"
+#include "exec/mediator.h"
+#include "exec/source_access.h"
+#include "exec/synthetic_domain.h"
+#include "runtime/source_runtime.h"
+#include "utility/coverage_model.h"
+
+namespace planorder::bench {
+namespace {
+
+constexpr int kMaxPlans = 12;
+
+struct SweepPoint {
+  double per_binding_latency_ms = 0.0;
+  double transient_failure_rate = 0.0;
+  double serial_ms = 0.0;
+  double parallel4_ms = 0.0;
+  double parallel8_ms = 0.0;
+  size_t answers = 0;
+};
+
+struct FailurePoint {
+  int killed_sources = 0;
+  size_t baseline_answers = 0;
+  size_t recovered_answers = 0;
+  size_t failed_plans = 0;
+};
+
+exec::SourceRegistry BuildRegistry(const exec::SyntheticDomain& d) {
+  exec::SourceRegistry registry;
+  for (datalog::SourceId id = 0; id < d.catalog.num_sources(); ++id) {
+    const std::string& name = d.catalog.source(id).name;
+    auto source = registry.Register(name, 2);
+    PLANORDER_CHECK(source.ok()) << source.status();
+    for (const auto& tuple : d.source_facts.TuplesFor(name)) {
+      PLANORDER_CHECK((*source)->Add(tuple).ok());
+    }
+  }
+  return registry;
+}
+
+/// One full mediation run through the runtime; returns wall-clock ms.
+double TimedRun(const exec::SyntheticDomain& d, exec::SourceRegistry& registry,
+                const runtime::RuntimeOptions& options,
+                exec::MediatorResult* out) {
+  utility::CoverageModel model(&d.workload);
+  auto orderer = core::StreamerOrderer::Create(
+      &d.workload, &model, {core::PlanSpace::FullSpace(d.workload)});
+  PLANORDER_CHECK(orderer.ok()) << orderer.status();
+  exec::Mediator mediator(&d.catalog, d.query, &d.source_facts, d.source_ids);
+  runtime::SourceRuntime rt(&registry, options);
+  exec::Mediator::RunLimits limits;
+  limits.max_plans = kMaxPlans;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = mediator.Run(**orderer, limits, rt);
+  const auto stop = std::chrono::steady_clock::now();
+  PLANORDER_CHECK(result.ok()) << result.status();
+  if (out != nullptr) *out = std::move(*result);
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+runtime::RuntimeOptions BaseOptions(int threads, const SweepPoint& point) {
+  runtime::RuntimeOptions options;
+  options.num_threads = threads;
+  options.seed = 7;
+  options.time_dilation = 1.0;  // really sleep the simulated latency
+  options.default_model.base_latency_ms = 0.2;
+  options.default_model.per_binding_latency_ms = point.per_binding_latency_ms;
+  options.default_model.per_tuple_latency_ms = 0.002;
+  options.default_model.latency_jitter = 0.2;
+  options.default_model.transient_failure_rate = point.transient_failure_rate;
+  options.retry.max_attempts = 16;
+  options.retry.initial_backoff_ms = 0.2;
+  options.retry.max_backoff_ms = 2.0;
+  return options;
+}
+
+std::vector<SweepPoint> RunLatencySweep(const exec::SyntheticDomain& d,
+                                        exec::SourceRegistry& registry) {
+  std::vector<SweepPoint> sweep;
+  for (double latency : {0.02, 0.08}) {
+    for (double failure_rate : {0.0, 0.15}) {
+      SweepPoint point;
+      point.per_binding_latency_ms = latency;
+      point.transient_failure_rate = failure_rate;
+
+      runtime::RuntimeOptions serial = BaseOptions(1, point);
+      serial.max_partitions_per_call = 1;
+      exec::MediatorResult serial_result;
+      point.serial_ms = TimedRun(d, registry, serial, &serial_result);
+      point.answers = serial_result.total_answers;
+
+      exec::MediatorResult parallel_result;
+      point.parallel4_ms =
+          TimedRun(d, registry, BaseOptions(4, point), &parallel_result);
+      // Same seed, same fault draws: the answer stream must be identical.
+      PLANORDER_CHECK(parallel_result.total_answers ==
+                      serial_result.total_answers)
+          << "parallel run diverged from serial";
+      point.parallel8_ms = TimedRun(d, registry, BaseOptions(8, point),
+                                    &parallel_result);
+      PLANORDER_CHECK(parallel_result.total_answers ==
+                      serial_result.total_answers)
+          << "parallel run diverged from serial";
+      sweep.push_back(point);
+
+      std::cout << "latency=" << latency << "ms fail=" << failure_rate
+                << "  serial=" << point.serial_ms
+                << "ms  4thr=" << point.parallel4_ms
+                << "ms  8thr=" << point.parallel8_ms
+                << "ms  speedup8=" << point.serial_ms / point.parallel8_ms
+                << "x  answers=" << point.answers << "\n";
+    }
+  }
+  return sweep;
+}
+
+std::vector<FailurePoint> RunFailureRecovery(const exec::SyntheticDomain& d,
+                                             exec::SourceRegistry& registry) {
+  // Baseline: nothing killed, logic-only (no sleeping).
+  SweepPoint quiet;
+  runtime::RuntimeOptions options = BaseOptions(4, quiet);
+  options.time_dilation = 0.0;
+  options.retry.max_attempts = 3;
+  exec::MediatorResult baseline;
+  TimedRun(d, registry, options, &baseline);
+
+  std::vector<FailurePoint> recovery;
+  const std::vector<std::string> names = [&] {
+    std::vector<std::string> all;
+    for (datalog::SourceId id = 0; id < d.catalog.num_sources(); ++id) {
+      all.push_back(d.catalog.source(id).name);
+    }
+    return all;
+  }();
+  for (int killed : {1, 2, 4}) {
+    utility::CoverageModel model(&d.workload);
+    auto orderer = core::StreamerOrderer::Create(
+        &d.workload, &model, {core::PlanSpace::FullSpace(d.workload)});
+    PLANORDER_CHECK(orderer.ok());
+    exec::Mediator mediator(&d.catalog, d.query, &d.source_facts,
+                            d.source_ids);
+    runtime::SourceRuntime rt(&registry, options);
+    runtime::NetworkModel dead;
+    dead.permanently_failed = true;
+    // Deterministically kill every (num/killed)-th source.
+    for (int i = 0; i < killed; ++i) {
+      const std::string& victim =
+          names[size_t(i) * names.size() / size_t(killed)];
+      PLANORDER_CHECK(rt.remotes().Configure(victim, dead).ok());
+    }
+    exec::Mediator::RunLimits limits;
+    limits.max_plans = kMaxPlans;
+    auto result = mediator.Run(**orderer, limits, rt);
+    PLANORDER_CHECK(result.ok()) << result.status();
+
+    FailurePoint point;
+    point.killed_sources = killed;
+    point.baseline_answers = baseline.total_answers;
+    point.recovered_answers = result->total_answers;
+    point.failed_plans = result->failed_plans;
+    recovery.push_back(point);
+    std::cout << "killed=" << killed << "  recovered "
+              << point.recovered_answers << "/" << point.baseline_answers
+              << " answers, " << point.failed_plans
+              << " plans discarded gracefully\n";
+  }
+  return recovery;
+}
+
+void WriteJson(const std::string& path, const std::vector<SweepPoint>& sweep,
+               const std::vector<FailurePoint>& recovery) {
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"runtime_resilience\",\n";
+  json << "  \"max_plans\": " << kMaxPlans << ",\n";
+  json << "  \"latency_sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    json << "    {\"per_binding_latency_ms\": " << p.per_binding_latency_ms
+         << ", \"transient_failure_rate\": " << p.transient_failure_rate
+         << ", \"serial_ms\": " << p.serial_ms
+         << ", \"parallel4_ms\": " << p.parallel4_ms
+         << ", \"parallel8_ms\": " << p.parallel8_ms
+         << ", \"speedup4\": " << p.serial_ms / p.parallel4_ms
+         << ", \"speedup8\": " << p.serial_ms / p.parallel8_ms
+         << ", \"answers\": " << p.answers << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"failure_recovery\": [\n";
+  for (size_t i = 0; i < recovery.size(); ++i) {
+    const FailurePoint& p = recovery[i];
+    json << "    {\"killed_sources\": " << p.killed_sources
+         << ", \"baseline_answers\": " << p.baseline_answers
+         << ", \"recovered_answers\": " << p.recovered_answers
+         << ", \"failed_plans\": " << p.failed_plans << "}"
+         << (i + 1 < recovery.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::ofstream out(path);
+  out << json.str();
+  if (!out) {
+    std::cerr << "failed to write " << path << "\n";
+    std::exit(1);
+  }
+  std::cout << "wrote " << path << "\n";
+}
+
+int Main(int argc, char** argv) {
+  stats::WorkloadOptions wopts;
+  wopts.query_length = 3;
+  wopts.bucket_size = 4;
+  wopts.overlap_rate = 0.4;
+  wopts.regions_per_bucket = 8;
+  wopts.seed = 41;
+  auto domain = exec::BuildSyntheticDomain(wopts, /*num_answers=*/400);
+  PLANORDER_CHECK(domain.ok()) << domain.status();
+  const exec::SyntheticDomain& d = **domain;
+  exec::SourceRegistry registry = BuildRegistry(d);
+
+  const std::vector<SweepPoint> sweep = RunLatencySweep(d, registry);
+  const std::vector<FailurePoint> recovery = RunFailureRecovery(d, registry);
+  WriteJson(argc > 1 ? argv[1] : "BENCH_runtime.json", sweep, recovery);
+  return 0;
+}
+
+}  // namespace
+}  // namespace planorder::bench
+
+int main(int argc, char** argv) { return planorder::bench::Main(argc, argv); }

@@ -20,6 +20,11 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// A dependency (e.g. a remote source) is transiently or permanently down;
+  /// the operation may be retried or the plan degraded, but did not complete.
+  kUnavailable,
+  /// The operation exceeded its deadline or budget before completing.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -69,6 +74,8 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// Union of a Status and a value: holds T when ok, an error Status otherwise.
 template <typename T>

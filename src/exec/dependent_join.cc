@@ -117,7 +117,8 @@ StatusOr<std::vector<std::vector<Term>>> ExecutePlanDependent(
     if (!batch.empty()) {
       PLANORDER_RETURN_IF_ERROR(source.ValidateBindings(batch.front()));
     }
-    const std::vector<std::vector<Term>> rows = source.FetchBatch(batch);
+    PLANORDER_ASSIGN_OR_RETURN(const std::vector<std::vector<Term>> rows,
+                               source.FetchBatch(batch));
     for (const Substitution& partial : frontier) {
       for (const auto& row : rows) {
         Substitution extended = partial;

@@ -7,6 +7,51 @@
 
 namespace planorder::exec {
 
+namespace {
+
+/// Set-oriented evaluation against the source-facts database — the original
+/// execution path, with no per-source accounting.
+class SetOrientedExecutor : public PlanExecutor {
+ public:
+  explicit SetOrientedExecutor(const datalog::Database* facts)
+      : facts_(facts) {}
+
+  StatusOr<PlanExecution> ExecutePlan(
+      const datalog::ConjunctiveQuery& rewriting) override {
+    PlanExecution exec;
+    PLANORDER_ASSIGN_OR_RETURN(exec.tuples,
+                               datalog::EvaluateQuery(rewriting, *facts_));
+    return exec;
+  }
+
+ private:
+  const datalog::Database* facts_;
+};
+
+/// Serial dependent joins against the binding-pattern sources, with access
+/// accounting.
+class DependentJoinExecutor : public PlanExecutor {
+ public:
+  explicit DependentJoinExecutor(SourceRegistry* registry)
+      : registry_(registry) {}
+
+  StatusOr<PlanExecution> ExecutePlan(
+      const datalog::ConjunctiveQuery& rewriting) override {
+    PlanExecution exec;
+    ExecutionTrace trace;
+    PLANORDER_ASSIGN_OR_RETURN(
+        exec.tuples, ExecutePlanDependent(rewriting, *registry_, &trace));
+    exec.source_calls = trace.TotalCalls();
+    exec.tuples_shipped = trace.TotalTuplesShipped();
+    return exec;
+  }
+
+ private:
+  SourceRegistry* registry_;
+};
+
+}  // namespace
+
 StatusOr<MediatorResult> Mediator::Run(core::Orderer& orderer, int max_plans,
                                        SourceRegistry* registry) {
   RunLimits limits;
@@ -17,6 +62,17 @@ StatusOr<MediatorResult> Mediator::Run(core::Orderer& orderer, int max_plans,
 StatusOr<MediatorResult> Mediator::Run(core::Orderer& orderer,
                                        const RunLimits& limits,
                                        SourceRegistry* registry) {
+  if (registry != nullptr) {
+    DependentJoinExecutor executor(registry);
+    return Run(orderer, limits, executor);
+  }
+  SetOrientedExecutor executor(source_facts_);
+  return Run(orderer, limits, executor);
+}
+
+StatusOr<MediatorResult> Mediator::Run(core::Orderer& orderer,
+                                       const RunLimits& limits,
+                                       PlanExecutor& executor) {
   if (limits.max_plans <= 0) {
     return InvalidArgumentError("max_plans must be positive");
   }
@@ -59,27 +115,28 @@ StatusOr<MediatorResult> Mediator::Run(core::Orderer& orderer,
         step.executable = false;
         orderer.ReportDiscarded();
       } else {
-        std::vector<std::vector<datalog::Term>> tuples;
-        if (registry != nullptr) {
-          ExecutionTrace trace;
-          PLANORDER_ASSIGN_OR_RETURN(
-              tuples,
-              ExecutePlanDependent(ordered->rewriting, *registry, &trace));
-          result.source_calls += trace.TotalCalls();
-          result.tuples_shipped += trace.TotalTuplesShipped();
+        PLANORDER_ASSIGN_OR_RETURN(PlanExecution exec,
+                                   executor.ExecutePlan(ordered->rewriting));
+        result.source_calls += exec.source_calls;
+        result.tuples_shipped += exec.tuples_shipped;
+        result.runtime.Merge(exec.runtime);
+        if (exec.failed) {
+          // A dead source takes this plan out, not the run: report it to the
+          // orderer as a discard so it stops conditioning later utilities.
+          step.failed = true;
+          step.failure_reason = std::move(exec.failure_reason);
+          ++result.failed_plans;
+          orderer.ReportDiscarded();
         } else {
-          PLANORDER_ASSIGN_OR_RETURN(
-              tuples,
-              datalog::EvaluateQuery(ordered->rewriting, *source_facts_));
-        }
-        step.answers_from_plan = tuples.size();
-        for (std::vector<datalog::Term>& tuple : tuples) {
-          if (answers.insert(std::move(tuple)).second) ++step.new_answers;
+          step.answers_from_plan = exec.tuples.size();
+          for (std::vector<datalog::Term>& tuple : exec.tuples) {
+            if (answers.insert(std::move(tuple)).second) ++step.new_answers;
+          }
         }
       }
     }
     step.total_answers = answers.size();
-    if (step.sound && step.executable) {
+    if (step.sound && step.executable && !step.failed) {
       estimated_cost_spent -= step.estimated_utility;
     }
     result.steps.push_back(std::move(step));

@@ -1,6 +1,7 @@
 #ifndef PLANORDER_EXEC_MEDIATOR_H_
 #define PLANORDER_EXEC_MEDIATOR_H_
 
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -21,19 +22,79 @@ struct MediatorStep {
   /// the sources' access patterns (it is then discarded like an unsound
   /// plan).
   bool executable = true;
+  /// True when the executor reported the plan lost to source failure
+  /// (permanent outage, retries exhausted, plan budget exceeded). The plan is
+  /// discarded like an unsound one — graceful degradation, not an error.
+  bool failed = false;
+  std::string failure_reason;
   size_t answers_from_plan = 0;  // answers the plan returned (sound plans)
   size_t new_answers = 0;        // of which previously unseen
   size_t total_answers = 0;      // cumulative distinct answers so far
+};
+
+/// Aggregate accounting of the resilient runtime: simulated network latency,
+/// retries, injected faults and hedges across all source calls of a run.
+/// Zero on the serial execution paths.
+struct RuntimeAccounting {
+  int64_t retries = 0;             // re-attempts after transient failures
+  int64_t transient_failures = 0;  // injected per-attempt failures
+  int64_t deadline_timeouts = 0;   // attempts cut off by the call deadline
+  int64_t permanent_failures = 0;  // calls against a permanently dead source
+  int64_t hedged_calls = 0;        // backup calls issued past the hedge delay
+  double latency_ms_total = 0.0;   // summed simulated latency across calls
+  double latency_ms_max = 0.0;     // slowest single call
+
+  void Merge(const RuntimeAccounting& other) {
+    retries += other.retries;
+    transient_failures += other.transient_failures;
+    deadline_timeouts += other.deadline_timeouts;
+    permanent_failures += other.permanent_failures;
+    hedged_calls += other.hedged_calls;
+    latency_ms_total += other.latency_ms_total;
+    if (other.latency_ms_max > latency_ms_max) {
+      latency_ms_max = other.latency_ms_max;
+    }
+  }
 };
 
 struct MediatorResult {
   std::vector<MediatorStep> steps;
   size_t total_answers = 0;
   size_t sound_plans = 0;
-  /// Populated by the access-pattern execution path: total source calls and
+  /// Plans that were sound and executable but lost to source failure.
+  size_t failed_plans = 0;
+  /// Populated by the access-pattern execution paths: total source calls and
   /// shipped tuples across all executed plans.
   int64_t source_calls = 0;
   int64_t tuples_shipped = 0;
+  /// Populated by the resilient runtime path (see src/runtime/).
+  RuntimeAccounting runtime;
+};
+
+/// The outcome of executing one sound, executable plan.
+struct PlanExecution {
+  std::vector<std::vector<datalog::Term>> tuples;
+  int64_t source_calls = 0;
+  int64_t tuples_shipped = 0;
+  RuntimeAccounting runtime;
+  /// The plan did not complete because its sources failed (after retries) or
+  /// its budget ran out. The mediator discards it like an unsound plan so the
+  /// run keeps going — the Figure 6 failure-model behavior.
+  bool failed = false;
+  std::string failure_reason;
+};
+
+/// Strategy interface for running one rewriting against the sources. The
+/// mediator stays agnostic of *how* plans execute: set-oriented evaluation,
+/// serial dependent joins, or the concurrent resilient runtime
+/// (runtime::SourceRuntime) all plug in here. Execution failures that should
+/// degrade gracefully are reported via PlanExecution::failed; a non-OK status
+/// aborts the whole run.
+class PlanExecutor {
+ public:
+  virtual ~PlanExecutor() = default;
+  virtual StatusOr<PlanExecution> ExecutePlan(
+      const datalog::ConjunctiveQuery& rewriting) = 0;
 };
 
 /// The full pipeline of Section 2: pull plans from an ordering algorithm in
@@ -80,6 +141,14 @@ class Mediator {
   /// As above with full stopping criteria.
   StatusOr<MediatorResult> Run(core::Orderer& orderer, const RunLimits& limits,
                                SourceRegistry* registry = nullptr);
+
+  /// Runs the pipeline with a caller-supplied execution strategy — the
+  /// entry point of the resilient concurrent runtime (build a
+  /// runtime::SourceRuntime from RuntimeOptions and pass it here). Plans the
+  /// executor reports as failed are discarded gracefully, exactly like
+  /// unsound plans.
+  StatusOr<MediatorResult> Run(core::Orderer& orderer, const RunLimits& limits,
+                               PlanExecutor& executor);
 
  private:
   const datalog::Catalog* catalog_;

@@ -94,10 +94,33 @@ const std::vector<std::vector<datalog::Term>>& AccessibleSource::Fetch(
   return rows->second;
 }
 
-std::vector<std::vector<datalog::Term>> AccessibleSource::FetchBatch(
+StatusOr<std::vector<std::vector<datalog::Term>>> AccessibleSource::FetchBatch(
     const std::vector<std::map<int, datalog::Term>>& batch) {
   std::vector<std::vector<datalog::Term>> result;
   if (batch.empty()) return result;
+  // Enforce the documented precondition: one batched semi-join ships one
+  // bound-position set. A mixed batch would silently consult different
+  // indexes per combination, so reject it outright.
+  for (size_t i = 1; i < batch.size(); ++i) {
+    const auto& expect = batch.front();
+    const auto& got = batch[i];
+    bool same = expect.size() == got.size();
+    if (same) {
+      auto e = expect.begin();
+      for (auto g = got.begin(); g != got.end(); ++g, ++e) {
+        if (e->first != g->first) {
+          same = false;
+          break;
+        }
+      }
+    }
+    if (!same) {
+      return InvalidArgumentError(
+          "FetchBatch against '" + name_ +
+          "': combination " + std::to_string(i) +
+          " binds a different position set than combination 0");
+    }
+  }
   ++stats_.calls;
   // Temporarily neutralize per-combination accounting: the batch is one
   // call and ships the deduplicated union.
@@ -136,6 +159,13 @@ AccessibleSource* SourceRegistry::Find(const std::string& name) {
 const AccessibleSource* SourceRegistry::Find(const std::string& name) const {
   auto it = sources_.find(name);
   return it == sources_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SourceRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& [name, unused] : sources_) names.push_back(name);
+  return names;
 }
 
 void SourceRegistry::ResetStats() {

@@ -56,9 +56,13 @@ class AccessibleSource {
   /// One *batched* access: ships all binding combinations at once (the
   /// semi-join of cost measure (2): "feed the titles into V_j") and returns
   /// the union of the matches, deduplicated. Counts as a single call; the
-  /// shipped count is the union's size. All combinations must bind the same
-  /// position set. An empty batch is a no-op returning nothing.
-  std::vector<std::vector<datalog::Term>> FetchBatch(
+  /// shipped count is the union's size. An empty batch is a no-op returning
+  /// nothing.
+  ///
+  /// Every combination must bind the same position set (one semi-join ships
+  /// one column set); a mixed batch is rejected with kInvalidArgument before
+  /// any tuple is fetched or any accounting is recorded.
+  StatusOr<std::vector<std::vector<datalog::Term>>> FetchBatch(
       const std::vector<std::map<int, datalog::Term>>& batch);
 
   const AccessStats& stats() const { return stats_; }
@@ -94,6 +98,11 @@ class SourceRegistry {
   /// Looks a source up, or nullptr.
   AccessibleSource* Find(const std::string& name);
   const AccessibleSource* Find(const std::string& name) const;
+
+  /// Names of all registered sources, in registration-independent sorted
+  /// order (used by wrappers that shadow every source, e.g. the runtime's
+  /// RemoteRegistry).
+  std::vector<std::string> Names() const;
 
   void ResetStats();
 

@@ -1,0 +1,225 @@
+#include "runtime/parallel_join.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "datalog/builtins.h"
+#include "datalog/unify.h"
+
+namespace planorder::runtime {
+
+using datalog::Atom;
+using datalog::Substitution;
+using datalog::Term;
+
+namespace {
+
+struct PartitionResult {
+  StatusOr<std::vector<std::vector<Term>>> rows =
+      Status(StatusCode::kInternal, "partition not executed");
+  double simulated_ms = 0.0;
+};
+
+/// Fetches `batch` split into at most `max_partitions` contiguous chunks run
+/// concurrently on `pool`, merging chunk results in chunk order with
+/// first-occurrence dedup (the serial FetchBatch row order). Returns the
+/// slowest partition's simulated time via `*elapsed_ms`.
+StatusOr<std::vector<std::vector<Term>>> FetchBatchPartitioned(
+    RemoteSource& source, const std::vector<std::map<int, Term>>& batch,
+    ThreadPool& pool, const ParallelJoinOptions& options, double* elapsed_ms,
+    int64_t* partition_calls) {
+  if (batch.empty()) {
+    *partition_calls = 0;
+    return std::vector<std::vector<Term>>{};
+  }
+  const int min_size = std::max(1, options.min_partition_size);
+  int partitions = std::min(
+      {options.max_partitions, pool.num_threads(),
+       static_cast<int>((batch.size() + size_t(min_size) - 1) /
+                        size_t(min_size))});
+  if (partitions < 1) partitions = 1;
+  // Ceiling-divide can leave trailing chunks empty (e.g. 5 items over 4
+  // partitions -> chunks of 2 fill after 3); recompute so every chunk is
+  // non-empty and in range.
+  const size_t chunk =
+      (batch.size() + size_t(partitions) - 1) / size_t(partitions);
+  partitions = static_cast<int>((batch.size() + chunk - 1) / chunk);
+  *partition_calls = partitions;
+  if (partitions == 1) {
+    return source.FetchBatch(batch, options.retry, elapsed_ms);
+  }
+
+  std::vector<PartitionResult> results(static_cast<size_t>(partitions));
+  {
+    TaskGroup group(&pool);
+    for (int p = 0; p < partitions; ++p) {
+      const size_t lo = size_t(p) * chunk;
+      const size_t hi = std::min(batch.size(), lo + chunk);
+      group.Submit([&source, &batch, &options, &results, p, lo, hi] {
+        std::vector<std::map<int, Term>> slice(batch.begin() + long(lo),
+                                               batch.begin() + long(hi));
+        PartitionResult& result = results[size_t(p)];
+        result.rows =
+            source.FetchBatch(slice, options.retry, &result.simulated_ms);
+      });
+    }
+    group.Wait();
+  }
+
+  // Concurrent partitions overlap in (simulated) time: the call's elapsed
+  // time is the slowest partition, not the sum.
+  double slowest = 0.0;
+  for (const PartitionResult& result : results) {
+    slowest = std::max(slowest, result.simulated_ms);
+  }
+  if (elapsed_ms != nullptr) *elapsed_ms += slowest;
+  // First failing partition (in deterministic chunk order) fails the call.
+  for (const PartitionResult& result : results) {
+    if (!result.rows.ok()) return result.rows.status();
+  }
+  std::vector<std::vector<Term>> merged;
+  std::unordered_set<std::vector<Term>, datalog::TermVectorHash> seen;
+  for (PartitionResult& result : results) {
+    for (std::vector<Term>& row : *result.rows) {
+      if (seen.insert(row).second) merged.push_back(std::move(row));
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::vector<Term>>> ExecutePlanDependentParallel(
+    const datalog::ConjunctiveQuery& rewriting, RemoteRegistry& sources,
+    ThreadPool& pool, const ParallelJoinOptions& options,
+    exec::ExecutionTrace* trace, double* simulated_ms) {
+  PLANORDER_RETURN_IF_ERROR(rewriting.ValidateSafety());
+  for (const Atom& atom : rewriting.body) {
+    if (datalog::IsComparisonAtom(atom)) continue;
+    const RemoteSource* source = sources.Find(atom.predicate);
+    if (source == nullptr) {
+      return NotFoundError("no remote source for '" + atom.predicate + "'");
+    }
+    if (source->underlying().arity() != atom.arity()) {
+      return InvalidArgumentError("arity mismatch for '" + atom.predicate +
+                                  "'");
+    }
+    for (const Term& arg : atom.args) {
+      if (arg.is_function()) {
+        return InvalidArgumentError(
+            "function terms cannot be executed against sources");
+      }
+    }
+  }
+  if (trace != nullptr) trace->atoms.clear();
+
+  double elapsed_ms = 0.0;  // simulated critical path across the plan
+  // Partial bindings flowing left to right — identical to the serial
+  // dependent join; only the per-atom batched fetch is parallelized.
+  std::vector<Substitution> frontier = {Substitution{}};
+  for (const Atom& atom : rewriting.body) {
+    if (datalog::IsComparisonAtom(atom)) {
+      std::vector<Substitution> kept;
+      for (const Substitution& partial : frontier) {
+        const Atom resolved = datalog::ApplySubstitution(atom, partial);
+        if (!resolved.IsGround()) {
+          return InvalidArgumentError(
+              "comparison over unbound variables in execution order: " +
+              atom.ToString());
+        }
+        PLANORDER_ASSIGN_OR_RETURN(bool holds,
+                                   datalog::EvaluateComparison(resolved));
+        if (holds) kept.push_back(partial);
+      }
+      frontier = std::move(kept);
+      if (trace != nullptr) {
+        exec::AtomAccess filter;
+        filter.source = atom.predicate;
+        trace->atoms.push_back(std::move(filter));
+      }
+      if (frontier.empty()) break;
+      continue;
+    }
+    RemoteSource& source = *sources.Find(atom.predicate);
+
+    // Distinct binding combinations the frontier sends to the source, in
+    // first-seen order (matches the serial path exactly).
+    std::vector<std::map<int, Term>> batch;
+    std::map<std::string, size_t> combination_index;
+    for (const Substitution& partial : frontier) {
+      std::map<int, Term> bindings;
+      std::string key;
+      for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+        const Term resolved =
+            datalog::ApplySubstitution(atom.args[pos], partial);
+        if (resolved.IsGround()) {
+          bindings[static_cast<int>(pos)] = resolved;
+          key += resolved.ToString();
+        }
+        key += '\x1f';
+      }
+      auto [it, inserted] =
+          combination_index.try_emplace(std::move(key), batch.size());
+      if (inserted) batch.push_back(std::move(bindings));
+    }
+    if (!batch.empty()) {
+      PLANORDER_RETURN_IF_ERROR(
+          source.underlying().ValidateBindings(batch.front()));
+    }
+
+    exec::AtomAccess access;
+    access.source = atom.predicate;
+    std::vector<std::vector<Term>> rows;
+    if (!batch.empty()) {
+      PLANORDER_ASSIGN_OR_RETURN(
+          rows, FetchBatchPartitioned(source, batch, pool, options,
+                                      &elapsed_ms, &access.calls));
+    }
+    access.tuples_shipped = static_cast<int64_t>(rows.size());
+    if (trace != nullptr) trace->atoms.push_back(std::move(access));
+    if (options.plan_budget_ms > 0.0 && elapsed_ms > options.plan_budget_ms) {
+      return DeadlineExceededError(
+          "plan budget of " + std::to_string(options.plan_budget_ms) +
+          "ms exhausted at '" + atom.predicate + "'");
+    }
+
+    std::vector<Substitution> next;
+    for (const Substitution& partial : frontier) {
+      for (const auto& row : rows) {
+        Substitution extended = partial;
+        bool ok = true;
+        for (size_t pos = 0; pos < atom.args.size() && ok; ++pos) {
+          ok = datalog::MatchTerm(atom.args[pos], row[pos], extended);
+        }
+        if (ok) next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  std::unordered_set<std::vector<Term>, datalog::TermVectorHash> seen;
+  std::vector<std::vector<Term>> answers;
+  for (const Substitution& subst : frontier) {
+    Atom head = datalog::ApplySubstitution(rewriting.head, subst);
+    if (!head.IsGround()) {
+      return InternalError("unbound head after safe execution");
+    }
+    if (seen.insert(head.args).second) answers.push_back(std::move(head.args));
+  }
+  // Keep trace length equal to the body even when the frontier drained.
+  if (trace != nullptr) {
+    while (trace->atoms.size() < rewriting.body.size()) {
+      exec::AtomAccess empty;
+      empty.source = rewriting.body[trace->atoms.size()].predicate;
+      trace->atoms.push_back(std::move(empty));
+    }
+  }
+  if (simulated_ms != nullptr) *simulated_ms = elapsed_ms;
+  return answers;
+}
+
+}  // namespace planorder::runtime

@@ -1,0 +1,54 @@
+#ifndef PLANORDER_RUNTIME_PARALLEL_JOIN_H_
+#define PLANORDER_RUNTIME_PARALLEL_JOIN_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/conjunctive_query.h"
+#include "exec/dependent_join.h"
+#include "runtime/remote_source.h"
+#include "runtime/retry_policy.h"
+#include "runtime/thread_pool.h"
+
+namespace planorder::runtime {
+
+/// Knobs of one parallel plan execution.
+struct ParallelJoinOptions {
+  /// Upper bound on concurrent partitions per batched call (further clamped
+  /// to the pool size and the batch size). 1 degenerates to the serial
+  /// dependent join over RemoteSources.
+  int max_partitions = 4;
+  /// Batches smaller than this are not split (partition setup is not free).
+  int min_partition_size = 1;
+  RetryPolicy retry;
+  /// Budget on the plan's *simulated elapsed* time: the sum over atoms of the
+  /// slowest partition of each batched call (the critical path), including
+  /// failed attempts and backoff waits. Exceeding it fails the plan with
+  /// kDeadlineExceeded. <= 0 = no budget.
+  double plan_budget_ms = 0.0;
+};
+
+/// Executes a rewriting by left-to-right dependent joins like
+/// exec::ExecutePlanDependent, but against resilient RemoteSources with each
+/// atom's batched semi-join *partitioned across the thread pool*: the
+/// distinct binding combinations flowing in from the prefix are split into
+/// contiguous chunks fetched concurrently, and the chunk results are merged
+/// back in chunk order with first-occurrence deduplication — bit-identical to
+/// the serial batch's row sequence, so with faults disabled this path returns
+/// exactly the serial path's answers in the same order.
+///
+/// Failure semantics: a source outage that survives retries, or an exhausted
+/// plan budget, fails the WHOLE PLAN with kUnavailable / kDeadlineExceeded —
+/// the mediator degrades gracefully by discarding the plan (see
+/// exec::PlanExecution::failed). Other statuses indicate real errors.
+///
+/// On success `*simulated_ms` (if non-null) holds the plan's simulated
+/// elapsed time as defined above.
+StatusOr<std::vector<std::vector<datalog::Term>>> ExecutePlanDependentParallel(
+    const datalog::ConjunctiveQuery& rewriting, RemoteRegistry& sources,
+    ThreadPool& pool, const ParallelJoinOptions& options,
+    exec::ExecutionTrace* trace = nullptr, double* simulated_ms = nullptr);
+
+}  // namespace planorder::runtime
+
+#endif  // PLANORDER_RUNTIME_PARALLEL_JOIN_H_

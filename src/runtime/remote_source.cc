@@ -1,0 +1,223 @@
+#include "runtime/remote_source.h"
+
+#include <chrono>
+#include <thread>
+
+#include "base/rng.h"
+
+namespace planorder::runtime {
+
+namespace {
+
+// Domain-separation salts so latency, fault, hedge and backoff draws of the
+// same attempt are independent.
+constexpr uint64_t kLatencySalt = 0x6c61746e63793031ULL;
+constexpr uint64_t kFaultSalt = 0x6661756c74303132ULL;
+constexpr uint64_t kHedgeSalt = 0x6865646765303133ULL;
+constexpr uint64_t kBackoffSalt = 0x6261636b6f663134ULL;
+
+/// Content hash of a batched call: the source's seed combined with every
+/// bound position and value. Identical payloads hash identically on every
+/// thread — the root of the runtime's schedule-independence.
+uint64_t BatchHash(uint64_t seed,
+                   const std::vector<std::map<int, datalog::Term>>& batch) {
+  uint64_t h = MixHash(seed);
+  for (const auto& bindings : batch) {
+    uint64_t combo = 0x42;
+    for (const auto& [position, value] : bindings) {
+      combo = CombineHash(combo, uint64_t(position));
+      combo = CombineHash(combo, HashString(value.ToString()));
+    }
+    h = CombineHash(h, combo);
+  }
+  return h;
+}
+
+double JitterMultiplier(double jitter, uint64_t hash) {
+  if (jitter <= 0.0) return 1.0;
+  return 1.0 + jitter * (2.0 * HashToUnit(hash) - 1.0);
+}
+
+void SleepSimulated(double simulated_ms, double dilation) {
+  if (simulated_ms <= 0.0 || dilation <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(simulated_ms * dilation));
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
+    const std::vector<std::map<int, datalog::Term>>& batch,
+    const RetryPolicy& retry, double* simulated_ms) {
+  if (model_.permanently_failed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.permanent_failures;
+    return UnavailableError("source '" + name() + "' is permanently down");
+  }
+  const uint64_t call_hash = BatchHash(seed_, batch);
+  const int max_attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  double call_total_ms = 0.0;   // everything this logical call cost
+  double backoff_spent_ms = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    const uint64_t attempt_hash = CombineHash(call_hash, uint64_t(attempt));
+    double latency_ms =
+        (model_.base_latency_ms +
+         model_.per_binding_latency_ms * double(batch.size())) *
+        JitterMultiplier(model_.latency_jitter,
+                         CombineHash(attempt_hash, kLatencySalt));
+    const bool transient_fault =
+        model_.transient_failure_rate > 0.0 &&
+        HashToUnit(CombineHash(attempt_hash, kFaultSalt)) <
+            model_.transient_failure_rate;
+    bool hedged = false;
+    if (!transient_fault && model_.hedge_delay_ms > 0.0 &&
+        latency_ms > model_.hedge_delay_ms) {
+      // The primary is slow: race a backup call against it. The attempt
+      // completes when the faster of the two responds.
+      hedged = true;
+      const double backup_ms =
+          (model_.base_latency_ms +
+           model_.per_binding_latency_ms * double(batch.size())) *
+          JitterMultiplier(model_.latency_jitter,
+                           CombineHash(attempt_hash, kHedgeSalt));
+      const double raced = model_.hedge_delay_ms + backup_ms;
+      if (raced < latency_ms) latency_ms = raced;
+    }
+    const bool timed_out =
+        model_.call_deadline_ms > 0.0 && latency_ms > model_.call_deadline_ms;
+    if (timed_out) latency_ms = model_.call_deadline_ms;
+
+    if (!transient_fault && !timed_out) {
+      // Attempt succeeds: perform the underlying fetch (fast, in-memory)
+      // under the per-source mutex, then pay the simulated shipping time
+      // outside it.
+      StatusOr<std::vector<std::vector<datalog::Term>>> rows =
+          [&]() -> StatusOr<std::vector<std::vector<datalog::Term>>> {
+        std::lock_guard<std::mutex> lock(mu_);
+        return source_->FetchBatch(batch);
+      }();
+      if (!rows.ok()) return rows.status();  // contract violation, not a fault
+      latency_ms += model_.per_tuple_latency_ms * double(rows->size());
+      call_total_ms += latency_ms;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.latency_ms_total += latency_ms;
+        if (latency_ms > stats_.latency_ms_max) {
+          stats_.latency_ms_max = latency_ms;
+        }
+        if (hedged) ++stats_.hedged_calls;
+      }
+      SleepSimulated(latency_ms, time_dilation_);
+      if (simulated_ms != nullptr) *simulated_ms += call_total_ms;
+      return rows;
+    }
+
+    // Failed attempt: it still cost its latency.
+    call_total_ms += latency_ms;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.latency_ms_total += latency_ms;
+      if (latency_ms > stats_.latency_ms_max) stats_.latency_ms_max = latency_ms;
+      if (timed_out) {
+        ++stats_.deadline_timeouts;
+      } else {
+        ++stats_.transient_failures;
+      }
+      if (hedged) ++stats_.hedged_calls;
+    }
+    SleepSimulated(latency_ms, time_dilation_);
+    if (attempt >= max_attempts) {
+      if (simulated_ms != nullptr) *simulated_ms += call_total_ms;
+      return UnavailableError("source '" + name() + "' failed " +
+                              std::to_string(attempt) +
+                              " attempts (retries exhausted)");
+    }
+    const double backoff_ms =
+        retry.BackoffMs(attempt, CombineHash(attempt_hash, kBackoffSalt));
+    backoff_spent_ms += backoff_ms;
+    if (retry.retry_budget_ms > 0.0 &&
+        backoff_spent_ms > retry.retry_budget_ms) {
+      if (simulated_ms != nullptr) *simulated_ms += call_total_ms;
+      return UnavailableError("source '" + name() +
+                              "': retry budget exhausted after " +
+                              std::to_string(attempt) + " attempts");
+    }
+    call_total_ms += backoff_ms;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+    }
+    SleepSimulated(backoff_ms, time_dilation_);
+  }
+}
+
+exec::RuntimeAccounting RemoteSource::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void RemoteSource::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = exec::RuntimeAccounting{};
+}
+
+RemoteRegistry::RemoteRegistry(exec::SourceRegistry* underlying,
+                               uint64_t seed) {
+  // Sorted-name iteration + one Rng stream: each source's key depends only on
+  // (seed, its rank), so the same seed reproduces the same per-source
+  // behavior across runs and platforms.
+  Rng rng(seed);
+  for (const std::string& name : underlying->Names()) {
+    const uint64_t source_seed =
+        CombineHash(rng.engine()(), HashString(name));
+    sources_.emplace(name, std::make_unique<RemoteSource>(
+                               underlying->Find(name), source_seed));
+  }
+}
+
+RemoteSource* RemoteRegistry::Find(const std::string& name) {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+const RemoteSource* RemoteRegistry::Find(const std::string& name) const {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> RemoteRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& [name, unused] : sources_) names.push_back(name);
+  return names;
+}
+
+void RemoteRegistry::ConfigureAll(const NetworkModel& model) {
+  for (auto& [unused, source] : sources_) source->set_model(model);
+}
+
+Status RemoteRegistry::Configure(const std::string& name,
+                                 const NetworkModel& model) {
+  RemoteSource* source = Find(name);
+  if (source == nullptr) {
+    return NotFoundError("no remote source '" + name + "'");
+  }
+  source->set_model(model);
+  return OkStatus();
+}
+
+void RemoteRegistry::set_time_dilation(double dilation) {
+  for (auto& [unused, source] : sources_) source->set_time_dilation(dilation);
+}
+
+exec::RuntimeAccounting RemoteRegistry::TotalStats() const {
+  exec::RuntimeAccounting total;
+  for (const auto& [unused, source] : sources_) total.Merge(source->stats());
+  return total;
+}
+
+void RemoteRegistry::ResetStats() {
+  for (auto& [unused, source] : sources_) source->ResetStats();
+}
+
+}  // namespace planorder::runtime

@@ -1,0 +1,126 @@
+#ifndef PLANORDER_RUNTIME_REMOTE_SOURCE_H_
+#define PLANORDER_RUNTIME_REMOTE_SOURCE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/term.h"
+#include "exec/mediator.h"
+#include "exec/source_access.h"
+#include "runtime/retry_policy.h"
+
+namespace planorder::runtime {
+
+/// Deterministic simulated network behavior of one autonomous source — the
+/// failure model behind the paper's premise that "sources may be slow or
+/// unavailable" (the Figure 6 failure panels). Latency is an affine function
+/// of the work a batched call ships (a per-call overhead `h` plus per-binding
+/// and per-tuple terms, mirroring cost measure (2)) with multiplicative
+/// jitter; faults are transient (per-attempt, retryable) or permanent (the
+/// source is dead for the whole run). All randomness is drawn by hashing the
+/// call payload (see retry_policy.h), never from a shared stream, so a seed
+/// fully determines every outcome regardless of thread scheduling.
+struct NetworkModel {
+  /// Fixed round-trip overhead per call attempt (the `h` of measure (2)).
+  double base_latency_ms = 0.0;
+  /// Added per binding combination in the batch (server-side probe work).
+  double per_binding_latency_ms = 0.0;
+  /// Added per result tuple shipped back (the `alpha` of measure (2)).
+  double per_tuple_latency_ms = 0.0;
+  /// Multiplicative spread: latency *= 1 + jitter * u, u ~ U[-1, 1).
+  double latency_jitter = 0.0;
+  /// Probability that an individual attempt fails transiently.
+  double transient_failure_rate = 0.0;
+  /// The source is down for the entire run; every call fails immediately
+  /// with kUnavailable (no retries — the outage is not transient).
+  bool permanently_failed = false;
+  /// Attempts whose sampled latency exceeds this are cut off and count as
+  /// retryable timeouts costing exactly the deadline. <= 0 disables.
+  double call_deadline_ms = 0.0;
+  /// When an attempt's sampled latency exceeds this, a backup (hedged) call
+  /// is issued and the attempt completes at
+  /// min(latency, hedge_delay + backup latency). <= 0 disables.
+  double hedge_delay_ms = 0.0;
+};
+
+/// A resilient proxy over one exec::AccessibleSource: simulates the network
+/// model, injects faults, retries transient ones per a RetryPolicy, and
+/// accounts latency/retries/failures/hedges. Underlying fetches are
+/// serialized by a per-source mutex, so one RemoteSource may be called from
+/// many pool workers concurrently; the simulated latency (the expensive part)
+/// is paid outside the lock.
+///
+/// Configuration (set_model / set_time_dilation) must happen before
+/// concurrent calls begin — it is not synchronized against FetchBatch.
+class RemoteSource {
+ public:
+  RemoteSource(exec::AccessibleSource* source, uint64_t seed)
+      : source_(source), seed_(seed) {}
+
+  const std::string& name() const { return source_->name(); }
+  const exec::AccessibleSource& underlying() const { return *source_; }
+
+  void set_model(const NetworkModel& model) { model_ = model; }
+  const NetworkModel& model() const { return model_; }
+
+  /// Scales real sleeping relative to simulated milliseconds: 1.0 sleeps the
+  /// simulated latency for wall-clock realism (benchmarks), 0.0 never sleeps
+  /// (logic tests). Accounting always records undilated simulated time.
+  void set_time_dilation(double dilation) { time_dilation_ = dilation; }
+
+  /// One resilient batched access (semantics of AccessibleSource::FetchBatch,
+  /// including the uniform-position-set precondition). Transient failures
+  /// and deadline timeouts are retried per `retry`; exhausting attempts or a
+  /// permanent outage yields kUnavailable. On return `*simulated_ms` (if
+  /// non-null) is increased by the call's total simulated time, including
+  /// failed attempts and backoff waits — the quantity per-plan budgets meter.
+  StatusOr<std::vector<std::vector<datalog::Term>>> FetchBatch(
+      const std::vector<std::map<int, datalog::Term>>& batch,
+      const RetryPolicy& retry, double* simulated_ms = nullptr);
+
+  /// Snapshot of this source's runtime accounting.
+  exec::RuntimeAccounting stats() const;
+  void ResetStats();
+
+ private:
+  exec::AccessibleSource* source_;
+  uint64_t seed_;
+  NetworkModel model_;
+  double time_dilation_ = 1.0;
+  mutable std::mutex mu_;           // guards source_ fetches and stats_
+  exec::RuntimeAccounting stats_;   // guarded by mu_
+};
+
+/// The runtime's view of the mediator's sources: one RemoteSource per entry
+/// of an exec::SourceRegistry. Per-source seeds are derived from one run seed
+/// via base/rng.h in sorted-name order, so a single recorded seed reproduces
+/// the whole run.
+class RemoteRegistry {
+ public:
+  RemoteRegistry(exec::SourceRegistry* underlying, uint64_t seed);
+
+  RemoteSource* Find(const std::string& name);
+  const RemoteSource* Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// Applies `model` to every source / one source.
+  void ConfigureAll(const NetworkModel& model);
+  Status Configure(const std::string& name, const NetworkModel& model);
+  void set_time_dilation(double dilation);
+
+  /// Aggregated runtime accounting across sources.
+  exec::RuntimeAccounting TotalStats() const;
+  void ResetStats();
+
+ private:
+  std::map<std::string, std::unique_ptr<RemoteSource>> sources_;
+};
+
+}  // namespace planorder::runtime
+
+#endif  // PLANORDER_RUNTIME_REMOTE_SOURCE_H_

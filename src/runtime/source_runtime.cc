@@ -1,0 +1,74 @@
+#include "runtime/source_runtime.h"
+
+#include <utility>
+
+namespace planorder::runtime {
+
+namespace {
+
+/// Counter-wise after - before, to attribute registry-level accounting to a
+/// single plan execution.
+exec::RuntimeAccounting Delta(const exec::RuntimeAccounting& after,
+                              const exec::RuntimeAccounting& before) {
+  exec::RuntimeAccounting delta;
+  delta.retries = after.retries - before.retries;
+  delta.transient_failures =
+      after.transient_failures - before.transient_failures;
+  delta.deadline_timeouts = after.deadline_timeouts - before.deadline_timeouts;
+  delta.permanent_failures =
+      after.permanent_failures - before.permanent_failures;
+  delta.hedged_calls = after.hedged_calls - before.hedged_calls;
+  delta.latency_ms_total = after.latency_ms_total - before.latency_ms_total;
+  delta.latency_ms_max = after.latency_ms_max;  // max is monotone; keep peak
+  return delta;
+}
+
+}  // namespace
+
+SourceRuntime::SourceRuntime(exec::SourceRegistry* sources,
+                             const RuntimeOptions& options)
+    : options_(options),
+      sources_(sources),
+      pool_(options.num_threads),
+      remotes_(sources, options.seed) {
+  remotes_.ConfigureAll(options_.default_model);
+  remotes_.set_time_dilation(options_.time_dilation);
+  join_options_.max_partitions = options_.max_partitions_per_call > 0
+                                     ? options_.max_partitions_per_call
+                                     : pool_.num_threads();
+  join_options_.min_partition_size = options_.min_partition_size;
+  join_options_.retry = options_.retry;
+  join_options_.plan_budget_ms = options_.plan_budget_ms;
+}
+
+StatusOr<exec::PlanExecution> SourceRuntime::ExecutePlan(
+    const datalog::ConjunctiveQuery& rewriting) {
+  const exec::RuntimeAccounting runtime_before = remotes_.TotalStats();
+  const exec::AccessStats access_before = sources_->TotalStats();
+
+  exec::PlanExecution exec;
+  exec::ExecutionTrace trace;
+  auto tuples = ExecutePlanDependentParallel(rewriting, remotes_, pool_,
+                                             join_options_, &trace);
+  exec.runtime = Delta(remotes_.TotalStats(), runtime_before);
+  const exec::AccessStats access_after = sources_->TotalStats();
+  exec.source_calls = access_after.calls - access_before.calls;
+  exec.tuples_shipped = access_after.tuples_shipped -
+                        access_before.tuples_shipped;
+  if (!tuples.ok()) {
+    const StatusCode code = tuples.status().code();
+    if (code == StatusCode::kUnavailable ||
+        code == StatusCode::kDeadlineExceeded) {
+      // Graceful degradation: the plan is lost to its sources, the run is
+      // not. The mediator discards it like an unsound plan.
+      exec.failed = true;
+      exec.failure_reason = tuples.status().ToString();
+      return exec;
+    }
+    return tuples.status();
+  }
+  exec.tuples = std::move(*tuples);
+  return exec;
+}
+
+}  // namespace planorder::runtime

@@ -1,0 +1,82 @@
+#ifndef PLANORDER_RUNTIME_SOURCE_RUNTIME_H_
+#define PLANORDER_RUNTIME_SOURCE_RUNTIME_H_
+
+#include <cstdint>
+
+#include "base/status.h"
+#include "datalog/conjunctive_query.h"
+#include "exec/mediator.h"
+#include "exec/source_access.h"
+#include "runtime/parallel_join.h"
+#include "runtime/remote_source.h"
+#include "runtime/retry_policy.h"
+#include "runtime/thread_pool.h"
+
+namespace planorder::runtime {
+
+/// Configuration of the resilient concurrent source-access runtime. One
+/// options object fully determines a run together with the source contents:
+/// the seed drives every simulated latency and fault draw.
+struct RuntimeOptions {
+  /// Worker threads in the pool.
+  int num_threads = 4;
+  /// Max concurrent partitions per batched source call; 0 = num_threads.
+  int max_partitions_per_call = 0;
+  /// Don't split batches below this many binding combinations.
+  int min_partition_size = 1;
+  /// Seed of the simulated network (see RemoteRegistry).
+  uint64_t seed = 1;
+  /// Wall-clock realism: 1.0 sleeps simulated milliseconds for real,
+  /// 0.0 never sleeps (tests). See RemoteSource::set_time_dilation.
+  double time_dilation = 1.0;
+  /// Applied to every source; override per source via remotes().Configure.
+  NetworkModel default_model;
+  RetryPolicy retry;
+  /// Per-plan budget on simulated elapsed time; exceeded plans are reported
+  /// as failed (discarded by the mediator). <= 0 = none.
+  double plan_budget_ms = 0.0;
+};
+
+/// The runtime assembled: a thread pool + a RemoteRegistry over an
+/// exec::SourceRegistry, exposed to the mediator as an exec::PlanExecutor.
+/// Plug it into Mediator::Run(orderer, limits, runtime):
+///
+///   runtime::RuntimeOptions options;
+///   options.num_threads = 8;
+///   options.default_model.per_binding_latency_ms = 0.5;
+///   options.default_model.transient_failure_rate = 0.05;
+///   runtime::SourceRuntime rt(&registry, options);
+///   auto result = mediator.Run(orderer, limits, rt);
+///
+/// Source failures degrade gracefully: a plan whose source dies (permanent
+/// outage, retries exhausted, budget blown) comes back as a failed step and
+/// is reported to the orderer as a discard — the run keeps collecting
+/// answers from the surviving plans, exactly like the unsound-plan protocol.
+class SourceRuntime : public exec::PlanExecutor {
+ public:
+  /// `sources` must outlive the runtime and already hold every source the
+  /// executed plans reference.
+  SourceRuntime(exec::SourceRegistry* sources, const RuntimeOptions& options);
+
+  const RuntimeOptions& options() const { return options_; }
+  RemoteRegistry& remotes() { return remotes_; }
+  const RemoteRegistry& remotes() const { return remotes_; }
+  ThreadPool& pool() { return pool_; }
+
+  /// Executes one rewriting by parallel resilient dependent joins. Source
+  /// failure is reported via PlanExecution::failed (never a non-OK status),
+  /// so the mediator can discard the plan and continue.
+  StatusOr<exec::PlanExecution> ExecutePlan(
+      const datalog::ConjunctiveQuery& rewriting) override;
+
+ private:
+  RuntimeOptions options_;
+  exec::SourceRegistry* sources_;
+  ThreadPool pool_;
+  RemoteRegistry remotes_;
+  ParallelJoinOptions join_options_;
+};
+
+}  // namespace planorder::runtime
+
+#endif  // PLANORDER_RUNTIME_SOURCE_RUNTIME_H_

@@ -68,6 +68,47 @@ TEST(AccessibleSourceTest, FetchByBindingPattern) {
             1u);
 }
 
+TEST(AccessibleSourceTest, FetchBatchShipsUnionAsOneCall) {
+  AccessibleSource source("v", 2);
+  ASSERT_TRUE(source.Add({Term::Constant("ford"), Term::Constant("m1")}).ok());
+  ASSERT_TRUE(source.Add({Term::Constant("ford"), Term::Constant("m2")}).ok());
+  ASSERT_TRUE(source.Add({Term::Constant("kate"), Term::Constant("m3")}).ok());
+  auto rows = source.FetchBatch({{{0, Term::Constant("ford")}},
+                                 {{0, Term::Constant("kate")}},
+                                 {{0, Term::Constant("ford")}}});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 3u);  // union, deduplicated
+  EXPECT_EQ(source.stats().calls, 1);
+  EXPECT_EQ(source.stats().tuples_shipped, 3);
+}
+
+TEST(AccessibleSourceTest, FetchBatchRejectsMixedPositionSets) {
+  // Regression: the documented precondition ("all combinations must bind the
+  // same position set") used to be unchecked — a mixed batch silently
+  // consulted different indexes per combination. Now it is a hard error,
+  // reported before any accounting is recorded.
+  AccessibleSource source("v", 2);
+  ASSERT_TRUE(source.Add({Term::Constant("ford"), Term::Constant("m1")}).ok());
+  auto mixed = source.FetchBatch({{{0, Term::Constant("ford")}},
+                                  {{1, Term::Constant("m1")}}});
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kInvalidArgument);
+  // Differing arity of the bound set is rejected too.
+  auto ragged = source.FetchBatch(
+      {{{0, Term::Constant("ford")}},
+       {{0, Term::Constant("ford")}, {1, Term::Constant("m1")}}});
+  ASSERT_FALSE(ragged.ok());
+  EXPECT_EQ(ragged.status().code(), StatusCode::kInvalidArgument);
+  // No call or shipping was recorded for the rejected batches.
+  EXPECT_EQ(source.stats().calls, 0);
+  EXPECT_EQ(source.stats().tuples_shipped, 0);
+  // An empty batch remains a free no-op.
+  auto empty = source.FetchBatch({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_EQ(source.stats().calls, 0);
+}
+
 TEST(SourceRegistryTest, RegisterAndFind) {
   SourceRegistry registry;
   ASSERT_TRUE(registry.Register("v1", 2).ok());

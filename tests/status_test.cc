@@ -27,6 +27,11 @@ TEST(StatusTest, FactoriesProduceExpectedCodes) {
   EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(UnavailableError("down").ToString(), "UNAVAILABLE: down");
+  EXPECT_EQ(DeadlineExceededError("late").ToString(),
+            "DEADLINE_EXCEEDED: late");
 }
 
 TEST(StatusTest, OkWithMessageNormalizes) {

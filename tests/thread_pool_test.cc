@@ -1,0 +1,110 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace planorder::runtime {
+namespace {
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskInABatch) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> counter{0};
+  const int kTasks = 1000;
+  for (int i = 0; i < kTasks; ++i) {
+    group.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // Two tasks that each wait for the other's arrival can only finish when at
+  // least two workers run them at the same time.
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  auto rendezvous = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lock, [&] { return arrived == 2; });
+  };
+  group.Submit(rendezvous);
+  group.Submit(rendezvous);
+  group.Wait();
+  EXPECT_EQ(arrived, 2);
+}
+
+TEST(ThreadPoolTest, GroupIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  TaskGroup group(&pool);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      group.Submit([&counter] { ++counter; });
+    }
+    group.Wait();
+    EXPECT_EQ(counter.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, NestedSubmissionFromWithinATask) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    group.Submit([&group, &counter] {
+      ++counter;
+      group.Submit([&counter] { ++counter; });
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        ++counter;
+      });
+    }
+    // Destruction must run everything already submitted.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ManyGroupsShareOnePool) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::unique_ptr<TaskGroup>> groups;
+  for (int g = 0; g < 4; ++g) {
+    groups.push_back(std::make_unique<TaskGroup>(&pool));
+    for (int i = 0; i < 50; ++i) {
+      groups.back()->Submit([&counter] { ++counter; });
+    }
+  }
+  for (auto& group : groups) group->Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+}  // namespace
+}  // namespace planorder::runtime
