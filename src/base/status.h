@@ -25,6 +25,10 @@ enum class StatusCode {
   kUnavailable,
   /// The operation exceeded its deadline or budget before completing.
   kDeadlineExceeded,
+  /// A capacity limit (admission queue, concurrent-session cap) rejected the
+  /// operation; the caller may retry later. Used for load shedding by the
+  /// service layer.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -76,6 +80,7 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status UnavailableError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 /// Union of a Status and a value: holds T when ok, an error Status otherwise.
 template <typename T>

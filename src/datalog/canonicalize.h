@@ -1,0 +1,63 @@
+#ifndef PLANORDER_DATALOG_CANONICALIZE_H_
+#define PLANORDER_DATALOG_CANONICALIZE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datalog/conjunctive_query.h"
+
+namespace planorder::datalog {
+
+/// The canonical form of a conjunctive query: a deterministic representative
+/// of the query's isomorphism class under variable renaming and body
+/// reordering. Two queries that differ only in variable names and/or the
+/// order of their body subgoals canonicalize to structurally identical
+/// queries (same `key`, same `hash`), which is what makes the form usable as
+/// a reformulation-cache key — repeated and isomorphic queries map to one
+/// entry.
+///
+/// The head predicate is normalized to "q": it names the answer relation but
+/// does not affect the answer tuples, so queries differing only in the head
+/// name share a canonical form. Head argument *positions* are preserved —
+/// they define the answer-tuple layout.
+struct CanonicalQuery {
+  /// The canonical representative: body sorted into the canonical order,
+  /// every variable renamed to V0, V1, ... (head-first, then in order of
+  /// first occurrence across the canonical body), head predicate "q".
+  ConjunctiveQuery query;
+  /// FNV-1a hash of `key` — the structural hash used to index caches.
+  uint64_t hash = 0;
+  /// `query.ToString()`: the exact textual canonical form. Equal keys mean
+  /// isomorphic inputs (up to the completeness caveat below); unequal keys
+  /// with equal `hash` are genuine hash collisions a cache must reject.
+  std::string key;
+  /// body_order[i] = index in the *original* body of the atom that became
+  /// canonical body position i.
+  std::vector<size_t> body_order;
+  /// Original variable name -> canonical name.
+  std::map<std::string, std::string> renaming;
+};
+
+/// Canonicalizes `query`. Deterministic: the same input (and any
+/// body-permuted, variable-renamed variant of it) always yields the same
+/// canonical form.
+///
+/// Exactness: for bodies of up to `kExactCanonicalizationLimit` atoms the
+/// canonical order is found by backtracking over signature ties, so *every*
+/// pair of isomorphic queries canonicalizes identically. Longer bodies fall
+/// back to a greedy tie-break (deterministic, but two isomorphic inputs may
+/// then land on different representatives — a cache treats that as a miss,
+/// never as a false hit). Callers that need certainty against hash or
+/// canonicalization accidents verify candidate matches with the containment
+/// test (datalog::AreEquivalent), which is exact.
+CanonicalQuery CanonicalizeQuery(const ConjunctiveQuery& query);
+
+/// Bodies up to this size are canonicalized exactly (see above). Mediator
+/// queries are a handful of subgoals, far below this.
+inline constexpr size_t kExactCanonicalizationLimit = 10;
+
+}  // namespace planorder::datalog
+
+#endif  // PLANORDER_DATALOG_CANONICALIZE_H_

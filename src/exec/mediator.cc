@@ -1,5 +1,7 @@
 #include "exec/mediator.h"
 
+#include <utility>
+
 #include "exec/dependent_join.h"
 
 #include "reformulation/executable_order.h"
@@ -52,6 +54,16 @@ class DependentJoinExecutor : public PlanExecutor {
 
 }  // namespace
 
+std::unique_ptr<PlanExecutor> MakeSetOrientedExecutor(
+    const datalog::Database* facts) {
+  return std::make_unique<SetOrientedExecutor>(facts);
+}
+
+std::unique_ptr<PlanExecutor> MakeDependentJoinExecutor(
+    SourceRegistry* registry) {
+  return std::make_unique<DependentJoinExecutor>(registry);
+}
+
 StatusOr<MediatorResult> Mediator::Run(core::Orderer& orderer, int max_plans,
                                        SourceRegistry* registry) {
   RunLimits limits;
@@ -62,94 +74,130 @@ StatusOr<MediatorResult> Mediator::Run(core::Orderer& orderer, int max_plans,
 StatusOr<MediatorResult> Mediator::Run(core::Orderer& orderer,
                                        const RunLimits& limits,
                                        SourceRegistry* registry) {
-  if (registry != nullptr) {
-    DependentJoinExecutor executor(registry);
-    return Run(orderer, limits, executor);
-  }
-  SetOrientedExecutor executor(source_facts_);
-  return Run(orderer, limits, executor);
+  std::unique_ptr<PlanExecutor> executor =
+      registry != nullptr ? MakeDependentJoinExecutor(registry)
+                          : MakeSetOrientedExecutor(source_facts_);
+  return Run(orderer, limits, *executor);
 }
 
 StatusOr<MediatorResult> Mediator::Run(core::Orderer& orderer,
                                        const RunLimits& limits,
                                        PlanExecutor& executor) {
+  PLANORDER_ASSIGN_OR_RETURN(MediatorStream stream,
+                             OpenStream(orderer, limits, executor));
+  while (true) {
+    auto step = stream.NextStep();
+    if (!step.ok()) {
+      if (step.status().code() == StatusCode::kNotFound) break;
+      return step.status();
+    }
+  }
+  return stream.TakeResult();
+}
+
+StatusOr<MediatorStream> Mediator::OpenStream(core::Orderer& orderer,
+                                              const RunLimits& limits,
+                                              PlanExecutor& executor) const {
   if (limits.max_plans <= 0) {
     return InvalidArgumentError("max_plans must be positive");
   }
-  MediatorResult result;
-  double estimated_cost_spent = 0.0;
-  std::unordered_set<std::vector<datalog::Term>, datalog::TermVectorHash>
-      answers;
-  for (int i = 0; i < limits.max_plans; ++i) {
-    auto next = orderer.Next();
-    if (!next.ok()) {
-      if (next.status().code() == StatusCode::kNotFound) break;
-      return next.status();
-    }
-    MediatorStep step;
-    step.plan = next->plan;
-    step.estimated_utility = next->utility;
+  return MediatorStream(this, &orderer, limits, &executor);
+}
 
-    // Translate bucket indices to catalog source ids and build the sound
-    // rewriting, if any.
-    std::vector<datalog::SourceId> choice(step.plan.size());
-    for (size_t b = 0; b < step.plan.size(); ++b) {
-      choice[b] = source_ids_[b][step.plan[b]];
+StatusOr<MediatorStep> MediatorStream::NextStep() {
+  if (done_) {
+    return NotFoundError("mediation stream is over");
+  }
+  if (plans_emitted_ >= limits_.max_plans) {
+    done_ = true;
+    return NotFoundError("plan limit reached");
+  }
+  auto next = orderer_->Next();
+  if (!next.ok()) {
+    done_ = true;
+    if (next.status().code() == StatusCode::kNotFound) {
+      return NotFoundError("orderer exhausted");
     }
-    PLANORDER_ASSIGN_OR_RETURN(
-        std::optional<reformulation::QueryPlan> plan,
-        reformulation::BuildSoundPlan(query_, *catalog_, choice));
-    if (!plan.has_value()) {
-      step.sound = false;
-      orderer.ReportDiscarded();
+    return next.status();
+  }
+  MediatorStep step;
+  step.plan = next->plan;
+  step.estimated_utility = next->utility;
+
+  // Translate bucket indices to catalog source ids and build the sound
+  // rewriting, if any.
+  std::vector<datalog::SourceId> choice(step.plan.size());
+  for (size_t b = 0; b < step.plan.size(); ++b) {
+    choice[b] = mediator_->source_ids_[b][step.plan[b]];
+  }
+  auto plan = reformulation::BuildSoundPlan(mediator_->query_,
+                                            *mediator_->catalog_, choice);
+  if (!plan.ok()) {
+    done_ = true;
+    return plan.status();
+  }
+  if (!plan->has_value()) {
+    step.sound = false;
+    orderer_->ReportDiscarded();
+  } else {
+    step.sound = true;
+    ++result_.sound_plans;
+    // Respect source access patterns: reorder atoms into an executable
+    // order; a sound plan with none is discarded like an unsound one.
+    auto ordered = reformulation::FindExecutableOrder(**plan,
+                                                      *mediator_->catalog_);
+    if (!ordered.ok()) {
+      if (ordered.status().code() != StatusCode::kFailedPrecondition) {
+        done_ = true;
+        return ordered.status();
+      }
+      step.executable = false;
+      orderer_->ReportDiscarded();
     } else {
-      step.sound = true;
-      ++result.sound_plans;
-      // Respect source access patterns: reorder atoms into an executable
-      // order; a sound plan with none is discarded like an unsound one.
-      auto ordered = reformulation::FindExecutableOrder(*plan, *catalog_);
-      if (!ordered.ok()) {
-        if (ordered.status().code() != StatusCode::kFailedPrecondition) {
-          return ordered.status();
-        }
-        step.executable = false;
-        orderer.ReportDiscarded();
+      auto exec = executor_->ExecutePlan(ordered->rewriting);
+      if (!exec.ok()) {
+        done_ = true;
+        return exec.status();
+      }
+      result_.source_calls += exec->source_calls;
+      result_.tuples_shipped += exec->tuples_shipped;
+      result_.runtime.Merge(exec->runtime);
+      if (exec->failed) {
+        // A dead source takes this plan out, not the run: report it to the
+        // orderer as a discard so it stops conditioning later utilities.
+        step.failed = true;
+        step.failure_reason = std::move(exec->failure_reason);
+        ++result_.failed_plans;
+        orderer_->ReportDiscarded();
       } else {
-        PLANORDER_ASSIGN_OR_RETURN(PlanExecution exec,
-                                   executor.ExecutePlan(ordered->rewriting));
-        result.source_calls += exec.source_calls;
-        result.tuples_shipped += exec.tuples_shipped;
-        result.runtime.Merge(exec.runtime);
-        if (exec.failed) {
-          // A dead source takes this plan out, not the run: report it to the
-          // orderer as a discard so it stops conditioning later utilities.
-          step.failed = true;
-          step.failure_reason = std::move(exec.failure_reason);
-          ++result.failed_plans;
-          orderer.ReportDiscarded();
-        } else {
-          step.answers_from_plan = exec.tuples.size();
-          for (std::vector<datalog::Term>& tuple : exec.tuples) {
-            if (answers.insert(std::move(tuple)).second) ++step.new_answers;
-          }
+        step.answers_from_plan = exec->tuples.size();
+        for (std::vector<datalog::Term>& tuple : exec->tuples) {
+          if (answers_.insert(std::move(tuple)).second) ++step.new_answers;
         }
       }
     }
-    step.total_answers = answers.size();
-    if (step.sound && step.executable && !step.failed) {
-      estimated_cost_spent -= step.estimated_utility;
-    }
-    result.steps.push_back(std::move(step));
-    if (limits.answer_target > 0 && answers.size() >= limits.answer_target) {
-      break;
-    }
-    if (limits.cost_budget > 0.0 &&
-        estimated_cost_spent >= limits.cost_budget) {
-      break;
-    }
   }
-  result.total_answers = answers.size();
-  return result;
+  step.total_answers = answers_.size();
+  if (step.sound && step.executable && !step.failed) {
+    estimated_cost_spent_ -= step.estimated_utility;
+  }
+  ++plans_emitted_;
+  result_.steps.push_back(step);
+  result_.total_answers = answers_.size();
+  if (limits_.answer_target > 0 && answers_.size() >= limits_.answer_target) {
+    done_ = true;
+  }
+  if (limits_.cost_budget > 0.0 &&
+      estimated_cost_spent_ >= limits_.cost_budget) {
+    done_ = true;
+  }
+  return step;
+}
+
+MediatorResult MediatorStream::TakeResult() {
+  done_ = true;
+  result_.total_answers = answers_.size();
+  return std::move(result_);
 }
 
 }  // namespace planorder::exec

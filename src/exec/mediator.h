@@ -1,6 +1,7 @@
 #ifndef PLANORDER_EXEC_MEDIATOR_H_
 #define PLANORDER_EXEC_MEDIATOR_H_
 
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -55,6 +56,30 @@ struct RuntimeAccounting {
       latency_ms_max = other.latency_ms_max;
     }
   }
+
+  /// Zeroes every counter.
+  void Reset() { *this = RuntimeAccounting{}; }
+
+  /// Counter-wise `*this - baseline`: the accounting accrued since the
+  /// `baseline` snapshot was taken (both from the same monotone accumulator).
+  /// The per-query metric helper of the service layer — snapshot before a
+  /// session, diff after, no double counting across sessions.
+  ///
+  /// `latency_ms_max` is not invertible (a maximum, not a sum); the diff
+  /// keeps this snapshot's peak, which upper-bounds the window's true peak.
+  RuntimeAccounting Since(const RuntimeAccounting& baseline) const {
+    RuntimeAccounting delta;
+    delta.retries = retries - baseline.retries;
+    delta.transient_failures =
+        transient_failures - baseline.transient_failures;
+    delta.deadline_timeouts = deadline_timeouts - baseline.deadline_timeouts;
+    delta.permanent_failures =
+        permanent_failures - baseline.permanent_failures;
+    delta.hedged_calls = hedged_calls - baseline.hedged_calls;
+    delta.latency_ms_total = latency_ms_total - baseline.latency_ms_total;
+    delta.latency_ms_max = latency_ms_max;
+    return delta;
+  }
 };
 
 struct MediatorResult {
@@ -96,6 +121,22 @@ class PlanExecutor {
   virtual StatusOr<PlanExecution> ExecutePlan(
       const datalog::ConjunctiveQuery& rewriting) = 0;
 };
+
+/// Set-oriented evaluation of each rewriting against a source-facts database
+/// (the original execution path, no per-source accounting). `facts` must
+/// outlive the executor. Stateless, hence safe to share across concurrent
+/// mediation runs.
+std::unique_ptr<PlanExecutor> MakeSetOrientedExecutor(
+    const datalog::Database* facts);
+
+/// Serial dependent joins against the binding-pattern sources with access
+/// accounting. `registry` must outlive the executor. NOT safe for concurrent
+/// runs (the underlying sources build indexes and count accesses without
+/// locking); concurrent sessions go through runtime::SourceRuntime instead.
+std::unique_ptr<PlanExecutor> MakeDependentJoinExecutor(
+    SourceRegistry* registry);
+
+class MediatorStream;
 
 /// The full pipeline of Section 2: pull plans from an ordering algorithm in
 /// decreasing-utility order, build the rewriting and test soundness, discard
@@ -150,11 +191,75 @@ class Mediator {
   StatusOr<MediatorResult> Run(core::Orderer& orderer, const RunLimits& limits,
                                PlanExecutor& executor);
 
+  /// Opens an incremental run: the same pipeline as Run, but the caller pulls
+  /// one MediatorStep at a time (the service layer streams these to clients
+  /// and can stop between any two steps at zero cost). `orderer` and
+  /// `executor` must outlive the stream; the mediator itself must too. Fails
+  /// with kInvalidArgument unless `limits.max_plans` is positive.
+  StatusOr<MediatorStream> OpenStream(core::Orderer& orderer,
+                                      const RunLimits& limits,
+                                      PlanExecutor& executor) const;
+
  private:
+  friend class MediatorStream;
+
   const datalog::Catalog* catalog_;
   datalog::ConjunctiveQuery query_;
   const datalog::Database* source_facts_;
   std::vector<std::vector<datalog::SourceId>> source_ids_;
+};
+
+/// An in-flight mediation run exposed as a pull stream. Each NextStep() call
+/// advances the pipeline by exactly one orderer plan — translate, soundness
+/// test, executable-order search, execution, answer dedup — and returns that
+/// step. The stream ends (kNotFound) when the orderer is exhausted or a
+/// RunLimits stopping criterion trips; any other error status aborts the
+/// stream permanently. Movable, not copyable; Mediator::Run is now a thin
+/// loop over this class, so both paths are behavior-identical by
+/// construction.
+class MediatorStream {
+ public:
+  MediatorStream(MediatorStream&&) = default;
+  MediatorStream& operator=(MediatorStream&&) = default;
+
+  /// Advances the run by one plan. kNotFound = stream over (not an error).
+  StatusOr<MediatorStep> NextStep();
+
+  /// True once NextStep has returned kNotFound or an error.
+  bool done() const { return done_; }
+
+  /// The accumulated result over all steps returned so far. `TakeResult`
+  /// finalizes and moves it out; the stream is done afterwards.
+  const MediatorResult& result() const { return result_; }
+  MediatorResult TakeResult();
+
+  /// The distinct answer tuples accumulated so far.
+  const std::unordered_set<std::vector<datalog::Term>,
+                           datalog::TermVectorHash>&
+  answers() const {
+    return answers_;
+  }
+
+ private:
+  friend class Mediator;
+
+  MediatorStream(const Mediator* mediator, core::Orderer* orderer,
+                 Mediator::RunLimits limits, PlanExecutor* executor)
+      : mediator_(mediator),
+        orderer_(orderer),
+        limits_(limits),
+        executor_(executor) {}
+
+  const Mediator* mediator_;
+  core::Orderer* orderer_;
+  Mediator::RunLimits limits_;
+  PlanExecutor* executor_;
+  int plans_emitted_ = 0;
+  double estimated_cost_spent_ = 0.0;
+  std::unordered_set<std::vector<datalog::Term>, datalog::TermVectorHash>
+      answers_;
+  MediatorResult result_;
+  bool done_ = false;
 };
 
 }  // namespace planorder::exec

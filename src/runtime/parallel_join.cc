@@ -21,6 +21,7 @@ struct PartitionResult {
   StatusOr<std::vector<std::vector<Term>>> rows =
       Status(StatusCode::kInternal, "partition not executed");
   double simulated_ms = 0.0;
+  exec::RuntimeAccounting accounting;
 };
 
 /// Fetches `batch` split into at most `max_partitions` contiguous chunks run
@@ -30,7 +31,7 @@ struct PartitionResult {
 StatusOr<std::vector<std::vector<Term>>> FetchBatchPartitioned(
     RemoteSource& source, const std::vector<std::map<int, Term>>& batch,
     ThreadPool& pool, const ParallelJoinOptions& options, double* elapsed_ms,
-    int64_t* partition_calls) {
+    int64_t* partition_calls, exec::RuntimeAccounting* accounting) {
   if (batch.empty()) {
     *partition_calls = 0;
     return std::vector<std::vector<Term>>{};
@@ -49,7 +50,7 @@ StatusOr<std::vector<std::vector<Term>>> FetchBatchPartitioned(
   partitions = static_cast<int>((batch.size() + chunk - 1) / chunk);
   *partition_calls = partitions;
   if (partitions == 1) {
-    return source.FetchBatch(batch, options.retry, elapsed_ms);
+    return source.FetchBatch(batch, options.retry, elapsed_ms, accounting);
   }
 
   std::vector<PartitionResult> results(static_cast<size_t>(partitions));
@@ -62,8 +63,9 @@ StatusOr<std::vector<std::vector<Term>>> FetchBatchPartitioned(
         std::vector<std::map<int, Term>> slice(batch.begin() + long(lo),
                                                batch.begin() + long(hi));
         PartitionResult& result = results[size_t(p)];
-        result.rows =
-            source.FetchBatch(slice, options.retry, &result.simulated_ms);
+        result.rows = source.FetchBatch(slice, options.retry,
+                                        &result.simulated_ms,
+                                        &result.accounting);
       });
     }
     group.Wait();
@@ -74,6 +76,7 @@ StatusOr<std::vector<std::vector<Term>>> FetchBatchPartitioned(
   double slowest = 0.0;
   for (const PartitionResult& result : results) {
     slowest = std::max(slowest, result.simulated_ms);
+    if (accounting != nullptr) accounting->Merge(result.accounting);
   }
   if (elapsed_ms != nullptr) *elapsed_ms += slowest;
   // First failing partition (in deterministic chunk order) fails the call.
@@ -95,7 +98,8 @@ StatusOr<std::vector<std::vector<Term>>> FetchBatchPartitioned(
 StatusOr<std::vector<std::vector<Term>>> ExecutePlanDependentParallel(
     const datalog::ConjunctiveQuery& rewriting, RemoteRegistry& sources,
     ThreadPool& pool, const ParallelJoinOptions& options,
-    exec::ExecutionTrace* trace, double* simulated_ms) {
+    exec::ExecutionTrace* trace, double* simulated_ms,
+    exec::RuntimeAccounting* accounting) {
   PLANORDER_RETURN_IF_ERROR(rewriting.ValidateSafety());
   for (const Atom& atom : rewriting.body) {
     if (datalog::IsComparisonAtom(atom)) continue;
@@ -176,7 +180,7 @@ StatusOr<std::vector<std::vector<Term>>> ExecutePlanDependentParallel(
     if (!batch.empty()) {
       PLANORDER_ASSIGN_OR_RETURN(
           rows, FetchBatchPartitioned(source, batch, pool, options,
-                                      &elapsed_ms, &access.calls));
+                                      &elapsed_ms, &access.calls, accounting));
     }
     access.tuples_shipped = static_cast<int64_t>(rows.size());
     if (trace != nullptr) trace->atoms.push_back(std::move(access));

@@ -44,10 +44,18 @@ struct ParallelJoinOptions {
 ///
 /// On success `*simulated_ms` (if non-null) holds the plan's simulated
 /// elapsed time as defined above.
+///
+/// `*accounting` (if non-null) accumulates the runtime accounting of every
+/// source call this plan made — populated on failure paths too (the work a
+/// failed plan burned is part of its cost). This is the plan-local channel
+/// that stays exact when many plans execute concurrently over one shared
+/// RemoteRegistry; partition accountings are merged in deterministic chunk
+/// order.
 StatusOr<std::vector<std::vector<datalog::Term>>> ExecutePlanDependentParallel(
     const datalog::ConjunctiveQuery& rewriting, RemoteRegistry& sources,
     ThreadPool& pool, const ParallelJoinOptions& options,
-    exec::ExecutionTrace* trace = nullptr, double* simulated_ms = nullptr);
+    exec::ExecutionTrace* trace = nullptr, double* simulated_ms = nullptr,
+    exec::RuntimeAccounting* accounting = nullptr);
 
 }  // namespace planorder::runtime
 

@@ -48,10 +48,23 @@ void SleepSimulated(double simulated_ms, double dilation) {
 
 StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
     const std::vector<std::map<int, datalog::Term>>& batch,
-    const RetryPolicy& retry, double* simulated_ms) {
+    const RetryPolicy& retry, double* simulated_ms,
+    exec::RuntimeAccounting* accounting) {
+  // Accounting accrues call-locally and commits on every exit path: once
+  // into the shared per-source stats (under the lock) and once into the
+  // caller's attribution channel, so concurrent callers never see each
+  // other's work in their own numbers.
+  exec::RuntimeAccounting acct;
+  const auto commit = [&] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.Merge(acct);
+    }
+    if (accounting != nullptr) accounting->Merge(acct);
+  };
   if (model_.permanently_failed) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.permanent_failures;
+    ++acct.permanent_failures;
+    commit();
     return UnavailableError("source '" + name() + "' is permanently down");
   }
   const uint64_t call_hash = BatchHash(seed_, batch);
@@ -96,17 +109,16 @@ StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
         std::lock_guard<std::mutex> lock(mu_);
         return source_->FetchBatch(batch);
       }();
-      if (!rows.ok()) return rows.status();  // contract violation, not a fault
+      if (!rows.ok()) {
+        commit();
+        return rows.status();  // contract violation, not a fault
+      }
       latency_ms += model_.per_tuple_latency_ms * double(rows->size());
       call_total_ms += latency_ms;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        stats_.latency_ms_total += latency_ms;
-        if (latency_ms > stats_.latency_ms_max) {
-          stats_.latency_ms_max = latency_ms;
-        }
-        if (hedged) ++stats_.hedged_calls;
-      }
+      acct.latency_ms_total += latency_ms;
+      if (latency_ms > acct.latency_ms_max) acct.latency_ms_max = latency_ms;
+      if (hedged) ++acct.hedged_calls;
+      commit();
       SleepSimulated(latency_ms, time_dilation_);
       if (simulated_ms != nullptr) *simulated_ms += call_total_ms;
       return rows;
@@ -114,19 +126,17 @@ StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
 
     // Failed attempt: it still cost its latency.
     call_total_ms += latency_ms;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.latency_ms_total += latency_ms;
-      if (latency_ms > stats_.latency_ms_max) stats_.latency_ms_max = latency_ms;
-      if (timed_out) {
-        ++stats_.deadline_timeouts;
-      } else {
-        ++stats_.transient_failures;
-      }
-      if (hedged) ++stats_.hedged_calls;
+    acct.latency_ms_total += latency_ms;
+    if (latency_ms > acct.latency_ms_max) acct.latency_ms_max = latency_ms;
+    if (timed_out) {
+      ++acct.deadline_timeouts;
+    } else {
+      ++acct.transient_failures;
     }
+    if (hedged) ++acct.hedged_calls;
     SleepSimulated(latency_ms, time_dilation_);
     if (attempt >= max_attempts) {
+      commit();
       if (simulated_ms != nullptr) *simulated_ms += call_total_ms;
       return UnavailableError("source '" + name() + "' failed " +
                               std::to_string(attempt) +
@@ -137,16 +147,14 @@ StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
     backoff_spent_ms += backoff_ms;
     if (retry.retry_budget_ms > 0.0 &&
         backoff_spent_ms > retry.retry_budget_ms) {
+      commit();
       if (simulated_ms != nullptr) *simulated_ms += call_total_ms;
       return UnavailableError("source '" + name() +
                               "': retry budget exhausted after " +
                               std::to_string(attempt) + " attempts");
     }
     call_total_ms += backoff_ms;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.retries;
-    }
+    ++acct.retries;
     SleepSimulated(backoff_ms, time_dilation_);
   }
 }

@@ -79,9 +79,17 @@ class RemoteSource {
   /// permanent outage yields kUnavailable. On return `*simulated_ms` (if
   /// non-null) is increased by the call's total simulated time, including
   /// failed attempts and backoff waits — the quantity per-plan budgets meter.
+  ///
+  /// `*accounting` (if non-null) receives this call's accounting — the same
+  /// increments recorded in the source's own stats, on success and failure
+  /// paths alike. It is the caller-local attribution channel: many sessions
+  /// can share one RemoteSource and still account their own calls exactly,
+  /// without diffing the shared monotone stats (which interleave under
+  /// concurrency).
   StatusOr<std::vector<std::vector<datalog::Term>>> FetchBatch(
       const std::vector<std::map<int, datalog::Term>>& batch,
-      const RetryPolicy& retry, double* simulated_ms = nullptr);
+      const RetryPolicy& retry, double* simulated_ms = nullptr,
+      exec::RuntimeAccounting* accounting = nullptr);
 
   /// Snapshot of this source's runtime accounting.
   exec::RuntimeAccounting stats() const;

@@ -4,27 +4,6 @@
 
 namespace planorder::runtime {
 
-namespace {
-
-/// Counter-wise after - before, to attribute registry-level accounting to a
-/// single plan execution.
-exec::RuntimeAccounting Delta(const exec::RuntimeAccounting& after,
-                              const exec::RuntimeAccounting& before) {
-  exec::RuntimeAccounting delta;
-  delta.retries = after.retries - before.retries;
-  delta.transient_failures =
-      after.transient_failures - before.transient_failures;
-  delta.deadline_timeouts = after.deadline_timeouts - before.deadline_timeouts;
-  delta.permanent_failures =
-      after.permanent_failures - before.permanent_failures;
-  delta.hedged_calls = after.hedged_calls - before.hedged_calls;
-  delta.latency_ms_total = after.latency_ms_total - before.latency_ms_total;
-  delta.latency_ms_max = after.latency_ms_max;  // max is monotone; keep peak
-  return delta;
-}
-
-}  // namespace
-
 SourceRuntime::SourceRuntime(exec::SourceRegistry* sources,
                              const RuntimeOptions& options)
     : options_(options),
@@ -43,18 +22,19 @@ SourceRuntime::SourceRuntime(exec::SourceRegistry* sources,
 
 StatusOr<exec::PlanExecution> SourceRuntime::ExecutePlan(
     const datalog::ConjunctiveQuery& rewriting) {
-  const exec::RuntimeAccounting runtime_before = remotes_.TotalStats();
-  const exec::AccessStats access_before = sources_->TotalStats();
-
+  // Accounting is collected plan-locally (threaded down through every
+  // FetchBatch of this execution), never by diffing the shared registry
+  // totals: concurrent plans from other sessions interleave with this one,
+  // so registry deltas would attribute their work to us. Call and shipping
+  // counts come from the plan's own execution trace for the same reason.
   exec::PlanExecution exec;
   exec::ExecutionTrace trace;
-  auto tuples = ExecutePlanDependentParallel(rewriting, remotes_, pool_,
-                                             join_options_, &trace);
-  exec.runtime = Delta(remotes_.TotalStats(), runtime_before);
-  const exec::AccessStats access_after = sources_->TotalStats();
-  exec.source_calls = access_after.calls - access_before.calls;
-  exec.tuples_shipped = access_after.tuples_shipped -
-                        access_before.tuples_shipped;
+  auto tuples =
+      ExecutePlanDependentParallel(rewriting, remotes_, pool_, join_options_,
+                                   &trace, /*simulated_ms=*/nullptr,
+                                   &exec.runtime);
+  exec.source_calls = trace.TotalCalls();
+  exec.tuples_shipped = trace.TotalTuplesShipped();
   if (!tuples.ok()) {
     const StatusCode code = tuples.status().code();
     if (code == StatusCode::kUnavailable ||

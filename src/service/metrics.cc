@@ -1,0 +1,44 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace planorder::service {
+
+void LatencyHistogram::Record(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(ms);
+  total_ms_ += ms;
+  if (ms > max_ms_) max_ms_ = ms;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  // Nearest-rank: the smallest sample with at least p% of the mass at or
+  // below it.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+size_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+double LatencyHistogram::max_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_ms_;
+}
+
+double LatencyHistogram::total_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ms_;
+}
+
+}  // namespace planorder::service

@@ -1,0 +1,74 @@
+#ifndef PLANORDER_SERVICE_METRICS_H_
+#define PLANORDER_SERVICE_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "exec/mediator.h"
+#include "service/reformulation_cache.h"
+
+namespace planorder::service {
+
+/// Reservoir-free latency recorder: keeps every sample (service runs are
+/// bounded to thousands of sessions, not millions) and computes exact
+/// percentiles on demand. Thread-safe.
+class LatencyHistogram {
+ public:
+  void Record(double ms);
+
+  /// Exact percentile by nearest-rank over the recorded samples; 0.0 when
+  /// empty. `p` in [0, 100].
+  double Percentile(double p) const;
+
+  size_t count() const;
+  double max_ms() const;
+  double total_ms() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  double max_ms_ = 0.0;
+  double total_ms_ = 0.0;
+};
+
+/// Point-in-time service counters, safe to read while sessions run.
+struct ServiceMetricsSnapshot {
+  // Admission control.
+  int64_t sessions_admitted = 0;
+  int64_t sessions_completed = 0;
+  /// Rejected with kResourceExhausted (queue full or admission deadline).
+  int64_t sessions_shed = 0;
+  /// Sessions that waited in the admission queue before a slot opened.
+  int64_t sessions_queued = 0;
+  int active_sessions = 0;
+  int queue_depth = 0;
+  int queue_depth_peak = 0;
+
+  // Reformulation cache.
+  ReformulationCache::Stats cache;
+  int64_t canonicalizations = 0;
+  /// Containment-based equivalence checks run on cache hits (when
+  /// ServiceOptions::verify_cache_hits is set), and how many failed — a
+  /// failure means the canonical key matched a non-equivalent query and the
+  /// hit was demoted to a miss. Zero failures expected in practice.
+  int64_t cache_verifications = 0;
+  int64_t cache_verification_failures = 0;
+
+  // End-to-end session latency (admission to Finish), milliseconds.
+  size_t latency_count = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  // Mediation totals across completed sessions.
+  int64_t total_answers = 0;
+  int64_t total_steps = 0;
+  /// Aggregated resilient-runtime accounting of all completed sessions.
+  exec::RuntimeAccounting runtime;
+};
+
+}  // namespace planorder::service
+
+#endif  // PLANORDER_SERVICE_METRICS_H_

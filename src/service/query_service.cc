@@ -1,0 +1,204 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "core/idrips.h"
+#include "core/plan_space.h"
+#include "core/streamer.h"
+#include "datalog/canonicalize.h"
+#include "datalog/containment.h"
+#include "utility/coverage_model.h"
+
+namespace planorder::service {
+
+QueryService::QueryService(const datalog::Catalog* catalog,
+                           const datalog::Database* source_facts,
+                           ServiceOptions options,
+                           exec::PlanExecutor* executor)
+    : catalog_(catalog),
+      source_facts_(source_facts),
+      options_(std::move(options)),
+      owned_executor_(executor != nullptr
+                          ? nullptr
+                          : exec::MakeSetOrientedExecutor(source_facts)),
+      executor_(executor != nullptr ? executor : owned_executor_.get()),
+      cache_(options_.cache_capacity) {}
+
+Status QueryService::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (active_ < options_.max_active_sessions) {
+    ++active_;
+    ++admitted_;
+    return OkStatus();
+  }
+  if (queued_ >= options_.max_queued_admissions ||
+      options_.admission_timeout_ms <= 0.0) {
+    ++shed_;
+    return ResourceExhaustedError(
+        "admission queue full (" + std::to_string(queued_) +
+        " waiting on " + std::to_string(options_.max_active_sessions) +
+        " slots); load shed, retry later");
+  }
+  ++queued_;
+  ++queued_total_;
+  queue_depth_peak_ = std::max(queue_depth_peak_, queued_);
+  const bool got_slot = slot_free_.wait_for(
+      lock,
+      std::chrono::duration<double, std::milli>(options_.admission_timeout_ms),
+      [&] { return active_ < options_.max_active_sessions; });
+  --queued_;
+  if (!got_slot) {
+    ++shed_;
+    return ResourceExhaustedError(
+        "no admission slot within " +
+        std::to_string(options_.admission_timeout_ms) +
+        "ms; load shed, retry later");
+  }
+  ++active_;
+  ++admitted_;
+  return OkStatus();
+}
+
+void QueryService::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+  }
+  slot_free_.notify_one();
+}
+
+void QueryService::OnSessionFinished(const exec::MediatorResult& result,
+                                     double elapsed_ms) {
+  latency_.Record(elapsed_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  total_answers_ += static_cast<int64_t>(result.total_answers);
+  total_steps_ += static_cast<int64_t>(result.steps.size());
+  runtime_total_.Merge(result.runtime);
+}
+
+StatusOr<QueryService::ReformulationOutcome> QueryService::Reformulate(
+    const datalog::ConjunctiveQuery& query) {
+  datalog::CanonicalQuery canonical = datalog::CanonicalizeQuery(query);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++canonicalizations_;
+  }
+  std::shared_ptr<const CachedReformulation> entry = cache_.Lookup(canonical);
+  if (entry != nullptr) {
+    bool verified = true;
+    if (options_.verify_cache_hits) {
+      verified =
+          datalog::AreEquivalent(entry->canonical.query, canonical.query);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++cache_verifications_;
+      if (!verified) ++cache_verification_failures_;
+    }
+    if (verified) return ReformulationOutcome{std::move(entry), true};
+    // Key matched a non-equivalent query (should be impossible; counted
+    // above) — fall through to the cold path rather than serve wrong plans.
+  }
+
+  auto fresh = std::make_shared<CachedReformulation>();
+  fresh->canonical = std::move(canonical);
+  PLANORDER_ASSIGN_OR_RETURN(
+      fresh->buckets,
+      reformulation::BuildBuckets(fresh->canonical.query, *catalog_));
+  PLANORDER_ASSIGN_OR_RETURN(
+      fresh->workload,
+      reformulation::EstimateWorkloadFromInstances(
+          fresh->canonical.query, *catalog_, fresh->buckets, *source_facts_,
+          options_.estimate));
+  cache_.Insert(fresh);
+  return ReformulationOutcome{std::move(fresh), false};
+}
+
+StatusOr<std::unique_ptr<Session>> QueryService::OpenSession(
+    const datalog::ConjunctiveQuery& query,
+    const exec::Mediator::RunLimits& limits) {
+  PLANORDER_RETURN_IF_ERROR(Admit());
+  auto reformed = Reformulate(query);
+  if (!reformed.ok()) {
+    Release();  // no session took ownership of the slot
+    return reformed.status();
+  }
+  // From here the session owns the slot: every error path below destroys it,
+  // and ~Session releases.
+  std::unique_ptr<Session> session(
+      new Session(this, std::move(reformed->entry), reformed->hit));
+
+  const stats::Workload* workload = &session->reformulation_->workload;
+  session->model_ = std::make_unique<utility::CoverageModel>(workload);
+  std::vector<core::PlanSpace> spaces = {core::PlanSpace::FullSpace(*workload)};
+  switch (options_.orderer) {
+    case ServiceOptions::OrdererKind::kStreamer: {
+      PLANORDER_ASSIGN_OR_RETURN(
+          session->orderer_,
+          core::StreamerOrderer::Create(workload, session->model_.get(),
+                                        std::move(spaces)));
+      break;
+    }
+    case ServiceOptions::OrdererKind::kIDrips: {
+      PLANORDER_ASSIGN_OR_RETURN(
+          session->orderer_,
+          core::IDripsOrderer::Create(workload, session->model_.get(),
+                                      std::move(spaces)));
+      break;
+    }
+  }
+  session->mediator_ = std::make_unique<exec::Mediator>(
+      catalog_, session->reformulation_->canonical.query, source_facts_,
+      session->reformulation_->buckets.buckets);
+  PLANORDER_ASSIGN_OR_RETURN(
+      exec::MediatorStream stream,
+      session->mediator_->OpenStream(*session->orderer_, limits, *executor_));
+  session->stream_.emplace(std::move(stream));
+  return session;
+}
+
+StatusOr<exec::MediatorResult> QueryService::RunQuery(
+    const datalog::ConjunctiveQuery& query,
+    const exec::Mediator::RunLimits& limits) {
+  PLANORDER_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                             OpenSession(query, limits));
+  while (true) {
+    auto step = session->NextStep();
+    if (!step.ok()) {
+      if (step.status().code() == StatusCode::kNotFound) break;
+      return step.status();
+    }
+  }
+  return session->Finish();
+}
+
+ServiceMetricsSnapshot QueryService::Metrics() const {
+  ServiceMetricsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.sessions_admitted = admitted_;
+    snapshot.sessions_completed = completed_;
+    snapshot.sessions_shed = shed_;
+    snapshot.sessions_queued = queued_total_;
+    snapshot.active_sessions = active_;
+    snapshot.queue_depth = queued_;
+    snapshot.queue_depth_peak = queue_depth_peak_;
+    snapshot.canonicalizations = canonicalizations_;
+    snapshot.cache_verifications = cache_verifications_;
+    snapshot.cache_verification_failures = cache_verification_failures_;
+    snapshot.total_answers = total_answers_;
+    snapshot.total_steps = total_steps_;
+    snapshot.runtime = runtime_total_;
+  }
+  snapshot.cache = cache_.stats();
+  snapshot.latency_count = latency_.count();
+  snapshot.latency_p50_ms = latency_.Percentile(50.0);
+  snapshot.latency_p95_ms = latency_.Percentile(95.0);
+  snapshot.latency_p99_ms = latency_.Percentile(99.0);
+  snapshot.latency_max_ms = latency_.max_ms();
+  return snapshot;
+}
+
+}  // namespace planorder::service

@@ -1,0 +1,138 @@
+#ifndef PLANORDER_SERVICE_QUERY_SERVICE_H_
+#define PLANORDER_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "base/status.h"
+#include "datalog/source.h"
+#include "exec/mediator.h"
+#include "reformulation/statistics.h"
+#include "service/metrics.h"
+#include "service/reformulation_cache.h"
+#include "service/session.h"
+
+namespace planorder::service {
+
+/// Configuration of a QueryService.
+struct ServiceOptions {
+  /// Reformulation-cache entries kept resident; 0 disables the cache.
+  size_t cache_capacity = 64;
+  /// On each cache hit, additionally verify with the Chandra-Merlin
+  /// containment test that the cached canonical query is equivalent to the
+  /// incoming one (collision safety beyond the key-string comparison).
+  bool verify_cache_hits = true;
+
+  /// Admission control: at most this many sessions hold slots at once ...
+  int max_active_sessions = 8;
+  /// ... at most this many more may wait for a slot; beyond that OpenSession
+  /// sheds immediately with kResourceExhausted.
+  int max_queued_admissions = 16;
+  /// How long a queued admission waits for a slot before shedding; <= 0
+  /// never waits (full = shed).
+  double admission_timeout_ms = 1000.0;
+
+  enum class OrdererKind { kStreamer, kIDrips };
+  OrdererKind orderer = OrdererKind::kStreamer;
+
+  /// Statistics estimation knobs for cold (uncached) reformulations.
+  reformulation::EstimateOptions estimate;
+};
+
+/// The multi-query mediator front end: many concurrent client sessions over
+/// one catalog, one source-facts corpus (or one shared resilient runtime)
+/// and one reformulation cache.
+///
+/// Per query the service (1) canonicalizes — isomorphic queries collapse to
+/// one canonical form; (2) consults the LRU reformulation cache, skipping
+/// the bucket algorithm and workload estimation on a hit; (3) builds a
+/// per-session orderer over the (shared, immutable) cached workload; and
+/// (4) hands back a streaming Session. Because hit and cold paths both run
+/// the mediator on the canonical query over the canonical bucket order, a
+/// cache hit yields byte-identical plan order and answers to the cold run.
+///
+/// Thread-safe: OpenSession/RunQuery/Metrics may be called from many client
+/// threads. The plan executor shared across sessions must itself be
+/// thread-safe (runtime::SourceRuntime is; the default set-oriented
+/// executor is stateless).
+class QueryService {
+ public:
+  /// `catalog` and `source_facts` must outlive the service. `executor`
+  /// (optional) is the shared plan-execution strategy for all sessions —
+  /// pass a runtime::SourceRuntime for resilient concurrent source access;
+  /// nullptr means set-oriented evaluation against `source_facts`.
+  QueryService(const datalog::Catalog* catalog,
+               const datalog::Database* source_facts, ServiceOptions options,
+               exec::PlanExecutor* executor = nullptr);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits, reformulates (through the cache) and opens a streaming session
+  /// for `query`. Blocks up to admission_timeout_ms when all slots are
+  /// busy; kResourceExhausted = load shed (queue full or timeout), retry
+  /// later. The session holds its slot until Finish()/destruction.
+  StatusOr<std::unique_ptr<Session>> OpenSession(
+      const datalog::ConjunctiveQuery& query,
+      const exec::Mediator::RunLimits& limits);
+
+  /// Convenience: open a session, drain it, Finish. What a non-interactive
+  /// client does.
+  StatusOr<exec::MediatorResult> RunQuery(
+      const datalog::ConjunctiveQuery& query,
+      const exec::Mediator::RunLimits& limits);
+
+  ServiceMetricsSnapshot Metrics() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  friend class Session;
+
+  /// Blocks for an admission slot per the options. OK = slot held.
+  Status Admit();
+  /// Returns a slot (Session finish/destruction path).
+  void Release();
+  /// Folds a finished session's totals into the service metrics.
+  void OnSessionFinished(const exec::MediatorResult& result,
+                         double elapsed_ms);
+
+  /// Canonicalize + cache lookup (+ optional containment verification),
+  /// computing and inserting the reformulation on a miss. Returns the entry
+  /// and whether it was a hit.
+  struct ReformulationOutcome {
+    std::shared_ptr<const CachedReformulation> entry;
+    bool hit = false;
+  };
+  StatusOr<ReformulationOutcome> Reformulate(
+      const datalog::ConjunctiveQuery& query);
+
+  const datalog::Catalog* catalog_;
+  const datalog::Database* source_facts_;
+  const ServiceOptions options_;
+  std::unique_ptr<exec::PlanExecutor> owned_executor_;
+  exec::PlanExecutor* executor_;  // owned_executor_.get() or caller's
+  ReformulationCache cache_;
+  LatencyHistogram latency_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  int active_ = 0;
+  int queued_ = 0;
+  int queue_depth_peak_ = 0;
+  int64_t admitted_ = 0;
+  int64_t completed_ = 0;
+  int64_t shed_ = 0;
+  int64_t queued_total_ = 0;
+  int64_t canonicalizations_ = 0;
+  int64_t cache_verifications_ = 0;
+  int64_t cache_verification_failures_ = 0;
+  int64_t total_answers_ = 0;
+  int64_t total_steps_ = 0;
+  exec::RuntimeAccounting runtime_total_;
+};
+
+}  // namespace planorder::service
+
+#endif  // PLANORDER_SERVICE_QUERY_SERVICE_H_

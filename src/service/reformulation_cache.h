@@ -1,0 +1,78 @@
+#ifndef PLANORDER_SERVICE_REFORMULATION_CACHE_H_
+#define PLANORDER_SERVICE_REFORMULATION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "datalog/canonicalize.h"
+#include "reformulation/bucket.h"
+#include "stats/workload.h"
+
+namespace planorder::service {
+
+/// The expensive front half of a mediation run, computed once per
+/// canonical-query class: the bucket algorithm's plan space plus the
+/// instance-estimated workload statistics over it. Immutable after
+/// construction; sessions share entries by shared_ptr so an entry stays
+/// alive while any session's orderer still points into its workload, even
+/// after cache eviction.
+struct CachedReformulation {
+  datalog::CanonicalQuery canonical;
+  reformulation::BucketResult buckets;
+  stats::Workload workload;
+};
+
+/// Thread-safe LRU cache of reformulations keyed by canonical form. The
+/// structural hash indexes the table; a hit additionally requires the full
+/// canonical key string to match (hash collisions are counted and treated as
+/// misses, never served). Callers may layer a containment-based equivalence
+/// verification on top (see ServiceOptions::verify_cache_hits) — the
+/// belt-and-braces check that a key match really is query equivalence.
+class ReformulationCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    /// Lookups whose hash matched a resident entry with a different
+    /// canonical key. Served as misses.
+    int64_t collisions = 0;
+    int64_t evictions = 0;
+    int64_t insertions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
+  /// `capacity` == 0 disables caching (every lookup misses, inserts drop).
+  explicit ReformulationCache(size_t capacity) : capacity_(capacity) {}
+
+  ReformulationCache(const ReformulationCache&) = delete;
+  ReformulationCache& operator=(const ReformulationCache&) = delete;
+
+  /// Returns the resident entry for `canonical`, bumping it to
+  /// most-recently-used, or nullptr on miss/collision.
+  std::shared_ptr<const CachedReformulation> Lookup(
+      const datalog::CanonicalQuery& canonical);
+
+  /// Inserts `entry` as most-recently-used, evicting from the LRU end past
+  /// capacity. A same-key entry already resident is replaced (last writer
+  /// wins; races between concurrent misses on the same query are benign).
+  void Insert(std::shared_ptr<const CachedReformulation> entry);
+
+  Stats stats() const;
+
+ private:
+  using LruList = std::list<std::shared_ptr<const CachedReformulation>>;
+
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  LruList lru_;                                         // front = most recent
+  std::unordered_map<uint64_t, LruList::iterator> by_hash_;
+  Stats stats_;
+};
+
+}  // namespace planorder::service
+
+#endif  // PLANORDER_SERVICE_REFORMULATION_CACHE_H_

@@ -1,0 +1,63 @@
+#include "service/session.h"
+
+#include <utility>
+
+#include "service/query_service.h"
+
+namespace planorder::service {
+
+Session::Session(QueryService* service,
+                 std::shared_ptr<const CachedReformulation> reformulation,
+                 bool cache_hit)
+    : service_(service),
+      reformulation_(std::move(reformulation)),
+      cache_hit_(cache_hit),
+      admitted_at_(std::chrono::steady_clock::now()) {}
+
+Session::~Session() { Finish(); }
+
+StatusOr<exec::MediatorStep> Session::NextStep() {
+  if (finished_ || !stream_.has_value()) {
+    return NotFoundError("session is finished");
+  }
+  return stream_->NextStep();
+}
+
+exec::MediatorResult Session::Finish() {
+  if (finished_) return {};
+  finished_ = true;
+  exec::MediatorResult result;
+  if (stream_.has_value()) {
+    result = stream_->TakeResult();
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - admitted_at_)
+            .count();
+    service_->OnSessionFinished(result, elapsed_ms);
+  }
+  // A session that never received its stream (service-side construction
+  // failure) still held a slot; either way the slot goes back.
+  service_->Release();
+  return result;
+}
+
+const exec::MediatorResult& Session::progress() const {
+  static const exec::MediatorResult kEmpty;
+  return stream_.has_value() ? stream_->result() : kEmpty;
+}
+
+exec::RuntimeAccounting Session::RuntimeSnapshot() const {
+  return progress().runtime;
+}
+
+std::vector<std::vector<datalog::Term>> Session::Answers() const {
+  std::vector<std::vector<datalog::Term>> tuples;
+  if (!stream_.has_value()) return tuples;
+  tuples.reserve(stream_->answers().size());
+  for (const std::vector<datalog::Term>& tuple : stream_->answers()) {
+    tuples.push_back(tuple);
+  }
+  return tuples;
+}
+
+}  // namespace planorder::service

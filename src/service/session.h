@@ -1,0 +1,88 @@
+#ifndef PLANORDER_SERVICE_SESSION_H_
+#define PLANORDER_SERVICE_SESSION_H_
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+#include "core/orderer.h"
+#include "exec/mediator.h"
+#include "service/reformulation_cache.h"
+#include "utility/model.h"
+
+namespace planorder::service {
+
+class QueryService;
+
+/// One admitted client query, exposed as a streaming pull API: each
+/// NextStep() advances the underlying mediation run by exactly one plan and
+/// yields its MediatorStep, so a client can render progressive answers and
+/// stop as soon as it is satisfied — the paper's anytime behavior, per
+/// session.
+///
+/// A Session owns its orderer, utility model and mediator, and shares the
+/// reformulation (buckets + workload) with the service cache. It occupies
+/// one admission slot from creation until Finish() or destruction; dropping
+/// a half-consumed session is legal and releases the slot. A Session is
+/// single-client state: not thread-safe (distinct sessions are independent
+/// and may run on distinct threads concurrently).
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Advances the run by one plan. kNotFound = run over (orderer exhausted
+  /// or a RunLimits criterion tripped) — not an error.
+  StatusOr<exec::MediatorStep> NextStep();
+
+  /// Ends the session: returns the accumulated MediatorResult, records the
+  /// session's latency and runtime accounting into the service metrics, and
+  /// releases the admission slot. Idempotent; after the first call the
+  /// result is empty.
+  exec::MediatorResult Finish();
+
+  /// The result accumulated so far, without ending the session.
+  const exec::MediatorResult& progress() const;
+
+  /// The distinct answer tuples accumulated so far, in unspecified order.
+  std::vector<std::vector<datalog::Term>> Answers() const;
+
+  /// This session's resilient-runtime accounting so far — already
+  /// per-session exact (plan-local attribution, see runtime::SourceRuntime),
+  /// no cross-session subtraction needed.
+  exec::RuntimeAccounting RuntimeSnapshot() const;
+
+  /// True when this session's reformulation came from the cache.
+  bool cache_hit() const { return cache_hit_; }
+
+  /// The canonical form the session runs under (hit and cold sessions of
+  /// one isomorphism class see the identical query and plan space).
+  const datalog::CanonicalQuery& canonical() const {
+    return reformulation_->canonical;
+  }
+
+ private:
+  friend class QueryService;
+
+  Session(QueryService* service,
+          std::shared_ptr<const CachedReformulation> reformulation,
+          bool cache_hit);
+
+  QueryService* service_;
+  std::shared_ptr<const CachedReformulation> reformulation_;
+  bool cache_hit_ = false;
+  std::unique_ptr<utility::UtilityModel> model_;
+  std::unique_ptr<core::Orderer> orderer_;
+  std::unique_ptr<exec::Mediator> mediator_;
+  std::optional<exec::MediatorStream> stream_;
+  std::chrono::steady_clock::time_point admitted_at_;
+  bool finished_ = false;
+};
+
+}  // namespace planorder::service
+
+#endif  // PLANORDER_SERVICE_SESSION_H_

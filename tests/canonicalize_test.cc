@@ -1,0 +1,192 @@
+#include "datalog/canonicalize.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datalog/containment.h"
+#include "datalog/parser.h"
+
+namespace planorder::datalog {
+namespace {
+
+ConjunctiveQuery MustParse(std::string_view text) {
+  auto rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status();
+  return *rule;
+}
+
+TEST(CanonicalizeTest, DeterministicOnRepeatedCalls) {
+  const ConjunctiveQuery q =
+      MustParse("Q(X,Y) :- edge(X,Z), edge(Z,Y), label(Z,red).");
+  const CanonicalQuery a = CanonicalizeQuery(q);
+  const CanonicalQuery b = CanonicalizeQuery(q);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.query.ToString(), b.query.ToString());
+}
+
+TEST(CanonicalizeTest, VariableRenamingsCollapse) {
+  const CanonicalQuery a =
+      CanonicalizeQuery(MustParse("Q(X,Y) :- edge(X,Z), edge(Z,Y)."));
+  const CanonicalQuery b =
+      CanonicalizeQuery(MustParse("Q(A,B) :- edge(A,M), edge(M,B)."));
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST(CanonicalizeTest, BodyPermutationsCollapse) {
+  const CanonicalQuery a = CanonicalizeQuery(
+      MustParse("Q(X) :- play-in(X,M), review-of(R,M), good(R)."));
+  const CanonicalQuery b = CanonicalizeQuery(
+      MustParse("Q(X) :- good(R), review-of(R,M), play-in(X,M)."));
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST(CanonicalizeTest, RenamedAndPermutedIsomorphsCollapse) {
+  const CanonicalQuery a = CanonicalizeQuery(
+      MustParse("Q(X,Y) :- r(X,U), s(U,V), r(V,Y)."));
+  const CanonicalQuery b = CanonicalizeQuery(
+      MustParse("Q(P,W) :- r(B,W), s(A,B), r(P,A)."));
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST(CanonicalizeTest, HeadPredicateNameIsIrrelevant) {
+  const CanonicalQuery a = CanonicalizeQuery(MustParse("Q(X) :- r(X)."));
+  const CanonicalQuery b = CanonicalizeQuery(MustParse("Answer(X) :- r(X)."));
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.query.head.predicate, "q");
+}
+
+TEST(CanonicalizeTest, HeadArgumentOrderMatters) {
+  // Q(X,Y) and Q(Y,X) return transposed answer tuples — not isomorphic.
+  const CanonicalQuery a =
+      CanonicalizeQuery(MustParse("Q(X,Y) :- edge(X,Y)."));
+  const CanonicalQuery b =
+      CanonicalizeQuery(MustParse("Q(Y,X) :- edge(X,Y)."));
+  EXPECT_NE(a.key, b.key);
+}
+
+TEST(CanonicalizeTest, ConstantsDiscriminate) {
+  const CanonicalQuery a =
+      CanonicalizeQuery(MustParse("Q(M) :- play-in(ford, M)."));
+  const CanonicalQuery b =
+      CanonicalizeQuery(MustParse("Q(M) :- play-in(hanks, M)."));
+  const CanonicalQuery c =
+      CanonicalizeQuery(MustParse("Q(M) :- play-in(X, M)."));
+  EXPECT_NE(a.key, b.key);
+  EXPECT_NE(a.key, c.key);
+  EXPECT_NE(b.key, c.key);
+}
+
+TEST(CanonicalizeTest, ConstantsSurviveCanonicalization) {
+  const CanonicalQuery a =
+      CanonicalizeQuery(MustParse("Q(M) :- play-in('Harrison Ford', M)."));
+  bool found = false;
+  for (const Atom& atom : a.query.body) {
+    for (const Term& term : atom.args) {
+      if (term.is_constant() && term.name() == "Harrison Ford") found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CanonicalizeTest, ComparisonSubgoalsCanonicalize) {
+  const CanonicalQuery a = CanonicalizeQuery(
+      MustParse("Q(X) :- score(X,S), lt(S, 10), neq(X, S)."));
+  const CanonicalQuery b = CanonicalizeQuery(
+      MustParse("Q(A) :- neq(A, B), score(A,B), lt(B, 10)."));
+  EXPECT_EQ(a.key, b.key);
+  // The comparison threshold is part of the canonical form.
+  const CanonicalQuery c = CanonicalizeQuery(
+      MustParse("Q(X) :- score(X,S), lt(S, 11), neq(X, S)."));
+  EXPECT_NE(a.key, c.key);
+}
+
+TEST(CanonicalizeTest, NonIsomorphicSameShapeQueriesDiffer) {
+  // Chain vs fork: same multiset of predicates, different join structure.
+  const CanonicalQuery chain =
+      CanonicalizeQuery(MustParse("Q(X) :- r(X,Y), r(Y,Z)."));
+  const CanonicalQuery fork =
+      CanonicalizeQuery(MustParse("Q(X) :- r(X,Y), r(X,Z)."));
+  EXPECT_NE(chain.key, fork.key);
+}
+
+TEST(CanonicalizeTest, DuplicateAtomsHandled) {
+  const CanonicalQuery a =
+      CanonicalizeQuery(MustParse("Q(X) :- r(X,Y), r(X,Y)."));
+  const CanonicalQuery b =
+      CanonicalizeQuery(MustParse("Q(U) :- r(U,V), r(U,V)."));
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.query.body.size(), 2u);
+}
+
+TEST(CanonicalizeTest, CanonicalQueryIsEquivalentToOriginal) {
+  const ConjunctiveQuery q = MustParse(
+      "Q(X,R) :- play-in(X,M), review-of(R,M), lt(R, 5).");
+  const CanonicalQuery canonical = CanonicalizeQuery(q);
+  // Containment requires matching head predicates, and canonicalization
+  // normalizes the head name away; compare under the canonical head name.
+  ConjunctiveQuery renamed_head = q;
+  renamed_head.head.predicate = canonical.query.head.predicate;
+  EXPECT_TRUE(AreEquivalent(renamed_head, canonical.query))
+      << "original: " << q.ToString()
+      << "\ncanonical: " << canonical.query.ToString();
+}
+
+TEST(CanonicalizeTest, RenamingCoversEveryVariable) {
+  const ConjunctiveQuery q =
+      MustParse("Q(X,Y) :- edge(X,Z), edge(Z,Y), label(Z,red).");
+  const CanonicalQuery canonical = CanonicalizeQuery(q);
+  std::set<std::string> originals;
+  for (const Term& t : q.head.args) {
+    if (t.is_variable()) originals.insert(t.name());
+  }
+  for (const Atom& atom : q.body) {
+    for (const Term& t : atom.args) {
+      if (t.is_variable()) originals.insert(t.name());
+    }
+  }
+  for (const std::string& name : originals) {
+    EXPECT_TRUE(canonical.renaming.count(name)) << name;
+  }
+  // Distinct originals map to distinct canonical names (a bijection).
+  std::set<std::string> images;
+  for (const auto& [from, to] : canonical.renaming) images.insert(to);
+  EXPECT_EQ(images.size(), canonical.renaming.size());
+}
+
+TEST(CanonicalizeTest, HashesOfDistinctClassesDiffer) {
+  // Not guaranteed in theory (64-bit hash), but these few must not collide
+  // or the cache would thrash on its own test corpus.
+  const std::set<uint64_t> hashes = {
+      CanonicalizeQuery(MustParse("Q(X) :- r(X,Y).")).hash,
+      CanonicalizeQuery(MustParse("Q(X) :- r(Y,X).")).hash,
+      CanonicalizeQuery(MustParse("Q(X) :- r(X,X).")).hash,
+      CanonicalizeQuery(MustParse("Q(X) :- r(X,Y), s(Y).")).hash,
+      CanonicalizeQuery(MustParse("Q(X) :- s(X).")).hash,
+  };
+  EXPECT_EQ(hashes.size(), 5u);
+}
+
+TEST(CanonicalizeTest, LargeBodyStillDeterministic) {
+  // Past kExactCanonicalizationLimit atoms the search degrades to greedy;
+  // it must stay deterministic (same input -> same key), which is all the
+  // cache requires for correctness (equality is still verified on hit).
+  std::string text = "Q(X0) :- ";
+  for (int i = 0; i < 14; ++i) {
+    if (i > 0) text += ", ";
+    text += "e" + std::to_string(i % 3) + "(X" + std::to_string(i) + ",X" +
+            std::to_string(i + 1) + ")";
+  }
+  text += ".";
+  const CanonicalQuery a = CanonicalizeQuery(MustParse(text));
+  const CanonicalQuery b = CanonicalizeQuery(MustParse(text));
+  EXPECT_EQ(a.key, b.key);
+}
+
+}  // namespace
+}  // namespace planorder::datalog

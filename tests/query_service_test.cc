@@ -1,0 +1,328 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datalog/unify.h"
+#include "exec/synthetic_domain.h"
+
+namespace planorder::service {
+namespace {
+
+using exec::MediatorResult;
+using exec::MediatorStep;
+
+std::unique_ptr<exec::SyntheticDomain> MakeDomain(uint64_t seed = 7) {
+  stats::WorkloadOptions options;
+  options.query_length = 2;
+  options.bucket_size = 4;
+  options.overlap_rate = 0.3;
+  options.regions_per_bucket = 8;
+  options.seed = seed;
+  auto domain = exec::BuildSyntheticDomain(options, /*num_answers=*/120);
+  EXPECT_TRUE(domain.ok()) << domain.status();
+  return std::move(*domain);
+}
+
+exec::Mediator::RunLimits Limits(int max_plans) {
+  exec::Mediator::RunLimits limits;
+  limits.max_plans = max_plans;
+  return limits;
+}
+
+/// Answer tuples as a canonical set of strings, for order-free comparison.
+std::set<std::string> AnswerSet(
+    const std::vector<std::vector<datalog::Term>>& tuples) {
+  std::set<std::string> rendered;
+  for (const auto& tuple : tuples) {
+    std::string row;
+    for (const datalog::Term& term : tuple) row += term.ToString() + "|";
+    rendered.insert(row);
+  }
+  return rendered;
+}
+
+/// Step traces must agree plan for plan: same plan order, same per-step
+/// answer accounting.
+void ExpectSameTrace(const MediatorResult& a, const MediatorResult& b) {
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].plan, b.steps[i].plan) << "step " << i;
+    EXPECT_EQ(a.steps[i].sound, b.steps[i].sound) << "step " << i;
+    EXPECT_EQ(a.steps[i].answers_from_plan, b.steps[i].answers_from_plan)
+        << "step " << i;
+    EXPECT_EQ(a.steps[i].new_answers, b.steps[i].new_answers) << "step " << i;
+    EXPECT_EQ(a.steps[i].total_answers, b.steps[i].total_answers)
+        << "step " << i;
+  }
+  EXPECT_EQ(a.total_answers, b.total_answers);
+}
+
+TEST(QueryServiceTest, RunsAQueryEndToEnd) {
+  auto d = MakeDomain();
+  QueryService service(&d->catalog, &d->source_facts, ServiceOptions{});
+  auto result = service.RunQuery(d->query, Limits(16));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->total_answers, 0u);
+  EXPECT_GT(result->sound_plans, 0u);
+
+  const ServiceMetricsSnapshot metrics = service.Metrics();
+  EXPECT_EQ(metrics.sessions_admitted, 1);
+  EXPECT_EQ(metrics.sessions_completed, 1);
+  EXPECT_EQ(metrics.cache.misses, 1);
+  EXPECT_EQ(metrics.cache.hits, 0);
+  EXPECT_EQ(metrics.active_sessions, 0);
+  EXPECT_EQ(metrics.latency_count, 1u);
+}
+
+TEST(QueryServiceTest, CacheHitMatchesColdRunExactly) {
+  auto d = MakeDomain();
+  QueryService service(&d->catalog, &d->source_facts, ServiceOptions{});
+
+  // Cold: first run misses and populates the cache.
+  auto cold_session = service.OpenSession(d->query, Limits(16));
+  ASSERT_TRUE(cold_session.ok()) << cold_session.status();
+  EXPECT_FALSE((*cold_session)->cache_hit());
+  while ((*cold_session)->NextStep().ok()) {
+  }
+  const std::set<std::string> cold_answers =
+      AnswerSet((*cold_session)->Answers());
+  const MediatorResult cold = (*cold_session)->Finish();
+
+  // Hot: identical query hits.
+  auto hot_session = service.OpenSession(d->query, Limits(16));
+  ASSERT_TRUE(hot_session.ok()) << hot_session.status();
+  EXPECT_TRUE((*hot_session)->cache_hit());
+  while ((*hot_session)->NextStep().ok()) {
+  }
+  const std::set<std::string> hot_answers =
+      AnswerSet((*hot_session)->Answers());
+  const MediatorResult hot = (*hot_session)->Finish();
+
+  ExpectSameTrace(cold, hot);
+  EXPECT_EQ(cold_answers, hot_answers);
+  EXPECT_FALSE(cold_answers.empty());
+
+  const ServiceMetricsSnapshot metrics = service.Metrics();
+  EXPECT_EQ(metrics.cache.hits, 1);
+  EXPECT_EQ(metrics.cache.misses, 1);
+  EXPECT_EQ(metrics.cache_verifications, 1);
+  EXPECT_EQ(metrics.cache_verification_failures, 0);
+}
+
+TEST(QueryServiceTest, IsomorphicQueryHitsAndMatches) {
+  auto d = MakeDomain();
+  QueryService service(&d->catalog, &d->source_facts, ServiceOptions{});
+  auto cold = service.RunQuery(d->query, Limits(16));
+  ASSERT_TRUE(cold.ok()) << cold.status();
+
+  // Rename every variable (an isomorph, not a textual duplicate).
+  datalog::Substitution renaming;
+  auto collect = [&renaming](const datalog::Atom& atom) {
+    for (const datalog::Term& term : atom.args) {
+      if (term.is_variable()) {
+        renaming[term.name()] =
+            datalog::Term::Variable("Renamed" + term.name());
+      }
+    }
+  };
+  collect(d->query.head);
+  for (const datalog::Atom& atom : d->query.body) collect(atom);
+  datalog::ConjunctiveQuery isomorph(
+      datalog::ApplySubstitution(d->query.head, renaming), {});
+  for (const datalog::Atom& atom : d->query.body) {
+    isomorph.body.push_back(datalog::ApplySubstitution(atom, renaming));
+  }
+
+  auto session = service.OpenSession(isomorph, Limits(16));
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_TRUE((*session)->cache_hit());
+  while ((*session)->NextStep().ok()) {
+  }
+  const MediatorResult hot = (*session)->Finish();
+  ExpectSameTrace(*cold, hot);
+}
+
+TEST(QueryServiceTest, CacheDisabledStillMatchesCachedRuns) {
+  auto d = MakeDomain();
+  ServiceOptions cached_opts;
+  ServiceOptions uncached_opts;
+  uncached_opts.cache_capacity = 0;
+  QueryService cached(&d->catalog, &d->source_facts, cached_opts);
+  QueryService uncached(&d->catalog, &d->source_facts, uncached_opts);
+
+  auto a = cached.RunQuery(d->query, Limits(16));
+  auto b = cached.RunQuery(d->query, Limits(16));  // hit
+  auto c = uncached.RunQuery(d->query, Limits(16));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ExpectSameTrace(*a, *b);
+  ExpectSameTrace(*a, *c);
+  EXPECT_EQ(uncached.Metrics().cache.hits, 0);
+}
+
+TEST(QueryServiceTest, StreamingStepsMatchBatchRun) {
+  auto d = MakeDomain();
+  QueryService service(&d->catalog, &d->source_facts, ServiceOptions{});
+  auto batch = service.RunQuery(d->query, Limits(8));
+  ASSERT_TRUE(batch.ok()) << batch.status();
+
+  auto session = service.OpenSession(d->query, Limits(8));
+  ASSERT_TRUE(session.ok()) << session.status();
+  std::vector<MediatorStep> streamed;
+  while (true) {
+    auto step = (*session)->NextStep();
+    if (!step.ok()) {
+      EXPECT_EQ(step.status().code(), StatusCode::kNotFound);
+      break;
+    }
+    streamed.push_back(*step);
+    // Progressive visibility: the session's running result tracks the steps
+    // pulled so far.
+    EXPECT_EQ((*session)->progress().steps.size(), streamed.size());
+  }
+  const MediatorResult result = (*session)->Finish();
+  ASSERT_EQ(streamed.size(), batch->steps.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].plan, batch->steps[i].plan);
+    EXPECT_EQ(streamed[i].total_answers, batch->steps[i].total_answers);
+  }
+  EXPECT_EQ(result.total_answers, batch->total_answers);
+}
+
+TEST(QueryServiceTest, AnswerTargetStopsSessionEarly) {
+  auto d = MakeDomain();
+  QueryService service(&d->catalog, &d->source_facts, ServiceOptions{});
+  exec::Mediator::RunLimits limits = Limits(64);
+  limits.answer_target = 1;
+  auto result = service.RunQuery(d->query, limits);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->total_answers, 1u);
+  auto unlimited = service.RunQuery(d->query, Limits(64));
+  ASSERT_TRUE(unlimited.ok());
+  EXPECT_LE(result->steps.size(), unlimited->steps.size());
+}
+
+TEST(QueryServiceTest, ShedsWhenQueueFullAndNoTimeout) {
+  auto d = MakeDomain();
+  ServiceOptions options;
+  options.max_active_sessions = 1;
+  options.admission_timeout_ms = 0.0;  // never wait: full = shed
+  QueryService service(&d->catalog, &d->source_facts, options);
+
+  auto held = service.OpenSession(d->query, Limits(4));
+  ASSERT_TRUE(held.ok()) << held.status();
+
+  auto rejected = service.OpenSession(d->query, Limits(4));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  const ServiceMetricsSnapshot metrics = service.Metrics();
+  EXPECT_EQ(metrics.sessions_shed, 1);
+  EXPECT_EQ(metrics.active_sessions, 1);
+
+  (*held)->Finish();
+  // Slot freed: admission works again.
+  auto after = service.OpenSession(d->query, Limits(4));
+  EXPECT_TRUE(after.ok()) << after.status();
+}
+
+TEST(QueryServiceTest, ShedsAfterAdmissionDeadline) {
+  auto d = MakeDomain();
+  ServiceOptions options;
+  options.max_active_sessions = 1;
+  options.max_queued_admissions = 4;
+  options.admission_timeout_ms = 20.0;
+  QueryService service(&d->catalog, &d->source_facts, options);
+
+  auto held = service.OpenSession(d->query, Limits(4));
+  ASSERT_TRUE(held.ok()) << held.status();
+  auto timed_out = service.OpenSession(d->query, Limits(4));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.Metrics().sessions_shed, 1);
+  EXPECT_EQ(service.Metrics().sessions_queued, 1);
+}
+
+TEST(QueryServiceTest, QueuedAdmissionProceedsWhenSlotFrees) {
+  auto d = MakeDomain();
+  ServiceOptions options;
+  options.max_active_sessions = 1;
+  options.max_queued_admissions = 4;
+  options.admission_timeout_ms = 10000.0;
+  QueryService service(&d->catalog, &d->source_facts, options);
+
+  auto held = service.OpenSession(d->query, Limits(4));
+  ASSERT_TRUE(held.ok()) << held.status();
+
+  Status waiter_status = InternalError("never ran");
+  std::thread waiter([&] {
+    auto result = service.RunQuery(d->query, Limits(4));
+    waiter_status = result.status();
+  });
+  // Give the waiter time to enqueue, then free the slot.
+  while (service.Metrics().queue_depth == 0 &&
+         service.Metrics().sessions_completed == 0) {
+    std::this_thread::yield();
+  }
+  (*held)->Finish();
+  waiter.join();
+  EXPECT_TRUE(waiter_status.ok()) << waiter_status;
+  EXPECT_EQ(service.Metrics().sessions_shed, 0);
+  EXPECT_EQ(service.Metrics().queue_depth_peak, 1);
+}
+
+TEST(QueryServiceTest, DroppedSessionReleasesItsSlot) {
+  auto d = MakeDomain();
+  ServiceOptions options;
+  options.max_active_sessions = 1;
+  options.admission_timeout_ms = 0.0;
+  QueryService service(&d->catalog, &d->source_facts, options);
+  {
+    auto session = service.OpenSession(d->query, Limits(4));
+    ASSERT_TRUE(session.ok());
+    // Abandoned mid-stream without Finish().
+    (void)(*session)->NextStep();
+  }
+  EXPECT_EQ(service.Metrics().active_sessions, 0);
+  auto next = service.OpenSession(d->query, Limits(4));
+  EXPECT_TRUE(next.ok()) << next.status();
+}
+
+TEST(QueryServiceTest, IDripsOrdererProducesSamePlansAsStreamer) {
+  auto d = MakeDomain();
+  ServiceOptions streamer_opts;
+  ServiceOptions idrips_opts;
+  idrips_opts.orderer = ServiceOptions::OrdererKind::kIDrips;
+  QueryService streamer(&d->catalog, &d->source_facts, streamer_opts);
+  QueryService idrips(&d->catalog, &d->source_facts, idrips_opts);
+  auto a = streamer.RunQuery(d->query, Limits(16));
+  auto b = idrips.RunQuery(d->query, Limits(16));
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Both order by exact conditional coverage; totals must agree.
+  EXPECT_EQ(a->total_answers, b->total_answers);
+  EXPECT_EQ(a->sound_plans, b->sound_plans);
+}
+
+TEST(QueryServiceTest, PerSessionRuntimeSnapshotIsIsolated) {
+  auto d = MakeDomain();
+  QueryService service(&d->catalog, &d->source_facts, ServiceOptions{});
+  auto session = service.OpenSession(d->query, Limits(8));
+  ASSERT_TRUE(session.ok());
+  while ((*session)->NextStep().ok()) {
+  }
+  // Set-oriented execution: no simulated network, so the per-session
+  // accounting is exactly zero (nothing from other sessions leaks in).
+  const exec::RuntimeAccounting snapshot = (*session)->RuntimeSnapshot();
+  EXPECT_EQ(snapshot.retries, 0);
+  EXPECT_DOUBLE_EQ(snapshot.latency_ms_total, 0.0);
+  (*session)->Finish();
+}
+
+}  // namespace
+}  // namespace planorder::service

@@ -1,0 +1,106 @@
+#include "service/reformulation_cache.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace planorder::service {
+namespace {
+
+std::shared_ptr<CachedReformulation> EntryFor(const std::string& text) {
+  auto entry = std::make_shared<CachedReformulation>();
+  auto rule = datalog::ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status();
+  entry->canonical = datalog::CanonicalizeQuery(*rule);
+  return entry;
+}
+
+TEST(ReformulationCacheTest, MissThenHit) {
+  ReformulationCache cache(4);
+  auto entry = EntryFor("Q(X) :- r(X,Y).");
+  EXPECT_EQ(cache.Lookup(entry->canonical), nullptr);
+  cache.Insert(entry);
+  auto found = cache.Lookup(entry->canonical);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->canonical.key, entry->canonical.key);
+
+  const ReformulationCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ReformulationCacheTest, IsomorphicQueriesShareAnEntry) {
+  ReformulationCache cache(4);
+  cache.Insert(EntryFor("Q(X) :- edge(X,Z), edge(Z,Y)."));
+  // A renamed, permuted isomorph canonicalizes to the same key.
+  auto isomorph = EntryFor("Q(A) :- edge(M,B), edge(A,M).");
+  EXPECT_NE(cache.Lookup(isomorph->canonical), nullptr);
+}
+
+TEST(ReformulationCacheTest, EvictsLeastRecentlyUsed) {
+  ReformulationCache cache(2);
+  auto a = EntryFor("Q(X) :- r(X).");
+  auto b = EntryFor("Q(X) :- s(X).");
+  auto c = EntryFor("Q(X) :- t(X).");
+  cache.Insert(a);
+  cache.Insert(b);
+  // Touch `a` so `b` is the LRU victim when `c` arrives.
+  EXPECT_NE(cache.Lookup(a->canonical), nullptr);
+  cache.Insert(c);
+
+  EXPECT_NE(cache.Lookup(a->canonical), nullptr);
+  EXPECT_EQ(cache.Lookup(b->canonical), nullptr);
+  EXPECT_NE(cache.Lookup(c->canonical), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST(ReformulationCacheTest, HashCollisionWithDifferentKeyIsAMiss) {
+  ReformulationCache cache(4);
+  auto a = EntryFor("Q(X) :- r(X).");
+  cache.Insert(a);
+  // Forge a lookup with a's hash but a different canonical key: the cache
+  // must refuse to serve it and count the collision.
+  auto b = EntryFor("Q(X) :- s(X).");
+  datalog::CanonicalQuery forged = b->canonical;
+  forged.hash = a->canonical.hash;
+  EXPECT_EQ(cache.Lookup(forged), nullptr);
+  EXPECT_EQ(cache.stats().collisions, 1);
+}
+
+TEST(ReformulationCacheTest, ZeroCapacityDisablesCaching) {
+  ReformulationCache cache(0);
+  auto a = EntryFor("Q(X) :- r(X).");
+  cache.Insert(a);
+  EXPECT_EQ(cache.Lookup(a->canonical), nullptr);
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0);
+}
+
+TEST(ReformulationCacheTest, EntriesSurviveEvictionWhileHeld) {
+  // A session holds its reformulation by shared_ptr; eviction must not free
+  // it out from under the session's orderer.
+  ReformulationCache cache(1);
+  auto a = EntryFor("Q(X) :- r(X).");
+  cache.Insert(a);
+  std::shared_ptr<const CachedReformulation> held = cache.Lookup(a->canonical);
+  ASSERT_NE(held, nullptr);
+  cache.Insert(EntryFor("Q(X) :- s(X)."));  // evicts a
+  EXPECT_EQ(cache.Lookup(a->canonical), nullptr);
+  EXPECT_EQ(held->canonical.key, a->canonical.key);  // still alive and intact
+}
+
+TEST(ReformulationCacheTest, ReinsertSameKeyReplacesInPlace) {
+  ReformulationCache cache(4);
+  cache.Insert(EntryFor("Q(X) :- r(X)."));
+  cache.Insert(EntryFor("Q(Y) :- r(Y)."));  // isomorph: same key
+  EXPECT_EQ(cache.stats().size, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+}  // namespace
+}  // namespace planorder::service
