@@ -7,16 +7,21 @@
 ///   - answers recovered when sources are permanently killed mid-workload
 ///     (graceful degradation instead of an aborted run).
 ///
-/// Usage: bench_runtime_resilience [output.json]
+/// Usage: bench_runtime_resilience [output.json] [--threads=N[,M...]]
+///        [--repeats=R]
+/// --threads sets the parallel thread counts swept against the serial run
+/// (default 4,8); --repeats takes the best of R runs per point (default 1).
 
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/logging.h"
+#include "bench_util.h"
 #include "core/streamer.h"
 #include "exec/mediator.h"
 #include "exec/source_access.h"
@@ -33,8 +38,8 @@ struct SweepPoint {
   double per_binding_latency_ms = 0.0;
   double transient_failure_rate = 0.0;
   double serial_ms = 0.0;
-  double parallel4_ms = 0.0;
-  double parallel8_ms = 0.0;
+  /// (thread count, wall-clock ms) per --threads entry.
+  std::vector<std::pair<int, double>> parallel_ms;
   size_t answers = 0;
 };
 
@@ -95,7 +100,17 @@ runtime::RuntimeOptions BaseOptions(int threads, const SweepPoint& point) {
 }
 
 std::vector<SweepPoint> RunLatencySweep(const exec::SyntheticDomain& d,
-                                        exec::SourceRegistry& registry) {
+                                        exec::SourceRegistry& registry,
+                                        const BenchFlags& flags) {
+  const int repeats = std::max(flags.repeats, 1);
+  auto best_of = [&](const runtime::RuntimeOptions& options,
+                     exec::MediatorResult* out) {
+    double best = TimedRun(d, registry, options, out);
+    for (int r = 1; r < repeats; ++r) {
+      best = std::min(best, TimedRun(d, registry, options, nullptr));
+    }
+    return best;
+  };
   std::vector<SweepPoint> sweep;
   for (double latency : {0.02, 0.08}) {
     for (double failure_rate : {0.0, 0.15}) {
@@ -106,29 +121,24 @@ std::vector<SweepPoint> RunLatencySweep(const exec::SyntheticDomain& d,
       runtime::RuntimeOptions serial = BaseOptions(1, point);
       serial.max_partitions_per_call = 1;
       exec::MediatorResult serial_result;
-      point.serial_ms = TimedRun(d, registry, serial, &serial_result);
+      point.serial_ms = best_of(serial, &serial_result);
       point.answers = serial_result.total_answers;
 
-      exec::MediatorResult parallel_result;
-      point.parallel4_ms =
-          TimedRun(d, registry, BaseOptions(4, point), &parallel_result);
-      // Same seed, same fault draws: the answer stream must be identical.
-      PLANORDER_CHECK(parallel_result.total_answers ==
-                      serial_result.total_answers)
-          << "parallel run diverged from serial";
-      point.parallel8_ms = TimedRun(d, registry, BaseOptions(8, point),
-                                    &parallel_result);
-      PLANORDER_CHECK(parallel_result.total_answers ==
-                      serial_result.total_answers)
-          << "parallel run diverged from serial";
-      sweep.push_back(point);
-
       std::cout << "latency=" << latency << "ms fail=" << failure_rate
-                << "  serial=" << point.serial_ms
-                << "ms  4thr=" << point.parallel4_ms
-                << "ms  8thr=" << point.parallel8_ms
-                << "ms  speedup8=" << point.serial_ms / point.parallel8_ms
-                << "x  answers=" << point.answers << "\n";
+                << "  serial=" << point.serial_ms << "ms";
+      for (int threads : flags.threads) {
+        exec::MediatorResult parallel_result;
+        const double ms =
+            best_of(BaseOptions(threads, point), &parallel_result);
+        // Same seed, same fault draws: the answer stream must be identical.
+        PLANORDER_CHECK(parallel_result.total_answers ==
+                        serial_result.total_answers)
+            << "parallel run diverged from serial";
+        point.parallel_ms.emplace_back(threads, ms);
+        std::cout << "  " << threads << "thr=" << ms << "ms";
+      }
+      sweep.push_back(point);
+      std::cout << "  answers=" << point.answers << "\n";
     }
   }
   return sweep;
@@ -197,12 +207,12 @@ void WriteJson(const std::string& path, const std::vector<SweepPoint>& sweep,
     const SweepPoint& p = sweep[i];
     json << "    {\"per_binding_latency_ms\": " << p.per_binding_latency_ms
          << ", \"transient_failure_rate\": " << p.transient_failure_rate
-         << ", \"serial_ms\": " << p.serial_ms
-         << ", \"parallel4_ms\": " << p.parallel4_ms
-         << ", \"parallel8_ms\": " << p.parallel8_ms
-         << ", \"speedup4\": " << p.serial_ms / p.parallel4_ms
-         << ", \"speedup8\": " << p.serial_ms / p.parallel8_ms
-         << ", \"answers\": " << p.answers << "}"
+         << ", \"serial_ms\": " << p.serial_ms;
+    for (const auto& [threads, ms] : p.parallel_ms) {
+      json << ", \"parallel" << threads << "_ms\": " << ms << ", \"speedup"
+           << threads << "\": " << p.serial_ms / ms;
+    }
+    json << ", \"answers\": " << p.answers << "}"
          << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"failure_recovery\": [\n";
@@ -236,9 +246,11 @@ int Main(int argc, char** argv) {
   const exec::SyntheticDomain& d = **domain;
   exec::SourceRegistry registry = BuildRegistry(d);
 
-  const std::vector<SweepPoint> sweep = RunLatencySweep(d, registry);
+  const BenchFlags flags =
+      ParseBenchFlags(argc, argv, "BENCH_runtime.json", {4, 8});
+  const std::vector<SweepPoint> sweep = RunLatencySweep(d, registry, flags);
   const std::vector<FailurePoint> recovery = RunFailureRecovery(d, registry);
-  WriteJson(argc > 1 ? argv[1] : "BENCH_runtime.json", sweep, recovery);
+  WriteJson(flags.output, sweep, recovery);
   return 0;
 }
 

@@ -8,7 +8,8 @@
 /// wall-clock, per-query latency percentiles, cache statistics and the
 /// cached-vs-uncached speedup as JSON (BENCH_service.json).
 ///
-/// Usage: bench_service_throughput [output.json]
+/// Usage: bench_service_throughput [output.json] [--threads=T] [--repeats=Q]
+/// where T is the number of client threads and Q the queries each issues.
 
 #include <chrono>
 #include <fstream>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "bench_util.h"
 #include "datalog/unify.h"
 #include "exec/synthetic_domain.h"
 #include "service/query_service.h"
@@ -26,8 +28,8 @@
 namespace planorder::bench {
 namespace {
 
-constexpr int kClientThreads = 4;
-constexpr int kQueriesPerClient = 8;
+int kClientThreads = 4;    // --threads
+int kQueriesPerClient = 8; // --repeats
 constexpr int kVariants = 8;
 constexpr int kMaxPlans = 1;
 
@@ -118,8 +120,11 @@ void AppendMetrics(std::ostringstream& json, const char* label,
 }
 
 int Main(int argc, char** argv) {
-  const std::string out_path =
-      argc > 1 ? argv[1] : std::string("BENCH_service.json");
+  const BenchFlags flags = ParseBenchFlags(
+      argc, argv, "BENCH_service.json", {kClientThreads}, kQueriesPerClient);
+  kClientThreads = flags.threads.front();
+  kQueriesPerClient = flags.repeats;
+  const std::string& out_path = flags.output;
 
   // A source-rich domain: instance statistics scan every source in every
   // bucket (cost grows with bucket_size), while executing one plan touches

@@ -17,6 +17,61 @@
 
 namespace planorder::bench {
 
+/// Shared command-line handling of the plain-main benchmarks (the ones that
+/// write a BENCH_*.json instead of going through the google-benchmark
+/// driver). Accepted forms:
+///   bench [output.json] [--threads=N[,M...]] [--repeats=R]
+/// The first non-flag argument is the output path; --threads sets the
+/// thread-count sweep and --repeats the per-point repetitions. Unknown flags
+/// abort with a usage message so CI typos fail loudly.
+struct BenchFlags {
+  std::string output;
+  std::vector<int> threads;
+  int repeats = 0;
+};
+
+inline BenchFlags ParseBenchFlags(int argc, char** argv,
+                                  std::string default_output,
+                                  std::vector<int> default_threads = {},
+                                  int default_repeats = 0) {
+  BenchFlags flags;
+  flags.output = std::move(default_output);
+  flags.threads = std::move(default_threads);
+  flags.repeats = default_repeats;
+  bool have_output = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      flags.threads.clear();
+      std::string list = arg.substr(10);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string item =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        PLANORDER_CHECK(!item.empty()) << "empty entry in " << arg;
+        flags.threads.push_back(std::stoi(item));
+        PLANORDER_CHECK_GE(flags.threads.back(), 1) << "bad " << arg;
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      PLANORDER_CHECK(!flags.threads.empty()) << "bad " << arg;
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      flags.repeats = std::stoi(arg.substr(10));
+      PLANORDER_CHECK_GE(flags.repeats, 1) << "bad " << arg;
+    } else if (!arg.empty() && arg[0] != '-' && !have_output) {
+      flags.output = arg;
+      have_output = true;
+    } else {
+      PLANORDER_CHECK(false)
+          << "usage: " << argv[0]
+          << " [output.json] [--threads=N[,M...]] [--repeats=R]; got '" << arg
+          << "'";
+    }
+  }
+  return flags;
+}
+
 /// The ordering algorithms under comparison (Section 6): Streamer and iDrips
 /// versus the PI reference, plus Greedy and the naive brute force for the
 /// supplementary experiments.

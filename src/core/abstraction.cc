@@ -49,6 +49,7 @@ AbstractionForest AbstractionForest::Build(const stats::Workload& workload,
     forest.roots_[b] = forest.BuildRange(workload, b, ordered, 0,
                                          static_cast<int>(ordered.size()));
   }
+  forest.probe_members_.assign(forest.nodes_.size(), -1);
   return forest;
 }
 

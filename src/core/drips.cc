@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "core/evaluate.h"
+#include "core/parallel_eval.h"
 
 namespace planorder::core {
 namespace {
@@ -33,23 +34,39 @@ int PickRefinementBucket(const AbstractPlan& plan) {
 
 }  // namespace
 
+int RefinementBucket(const AbstractPlan& plan) {
+  return PickRefinementBucket(plan);
+}
+
 StatusOr<DripsResult> RunDrips(const std::vector<AbstractPlan>& starts,
-                               utility::UtilityModel& model,
+                               const utility::UtilityModel& model,
                                const utility::ExecutionContext& ctx,
-                               int64_t* evaluations,
-                               bool probe_lower_bounds) {
+                               int64_t* evaluations, bool probe_lower_bounds,
+                               const BatchEvaluator* evaluator) {
   if (starts.empty()) return NotFoundError("no plans to order");
+  const BatchEvaluator serial_evaluator;
+  if (evaluator == nullptr) evaluator = &serial_evaluator;
   std::vector<Candidate> candidates;
   candidates.reserve(starts.size() + 64);
-  auto add_candidate = [&](AbstractPlan plan) {
-    Candidate c;
-    c.utility =
-        EvaluateWithProbe(plan, model, ctx, evaluations, probe_lower_bounds)
-            .utility;
-    c.concrete = plan.IsConcrete();
-    c.plan = std::move(plan);
-    candidates.push_back(std::move(c));
-    return candidates.size() - 1;
+  // All bookkeeping is by index: add_candidates may grow (and reallocate)
+  // `candidates`, so no reference or pointer into it survives an insertion.
+  auto add_candidates = [&](std::vector<AbstractPlan> plans) {
+    std::vector<const AbstractPlan*> batch;
+    batch.reserve(plans.size());
+    for (const AbstractPlan& plan : plans) batch.push_back(&plan);
+    std::vector<PlanEvaluation> evals = evaluator->EvaluateBatch(
+        batch, model, ctx, evaluations, probe_lower_bounds);
+    std::vector<size_t> added;
+    added.reserve(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      Candidate c;
+      c.utility = evals[i].utility;
+      c.concrete = plans[i].IsConcrete();
+      c.plan = std::move(plans[i]);
+      candidates.push_back(std::move(c));
+      added.push_back(candidates.size() - 1);
+    }
+    return added;
   };
 
   // Domination is static within one run (utilities don't change), so each
@@ -68,49 +85,53 @@ StatusOr<DripsResult> RunDrips(const std::vector<AbstractPlan>& starts,
     }
   };
 
-  for (const AbstractPlan& start : starts) {
-    eliminate_against_all(add_candidate(start));
-  }
+  for (size_t fresh : add_candidates(starts)) eliminate_against_all(fresh);
 
   while (true) {
-    Candidate* best_abstract = nullptr;
-    Candidate* best_concrete = nullptr;
-    for (Candidate& c : candidates) {
+    size_t best_abstract = candidates.size();
+    size_t best_concrete = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const Candidate& c = candidates[i];
       if (!c.alive) continue;
       if (c.concrete) {
-        if (best_concrete == nullptr ||
-            c.utility.lo() > best_concrete->utility.lo()) {
-          best_concrete = &c;
+        if (best_concrete == candidates.size() ||
+            c.utility.lo() > candidates[best_concrete].utility.lo()) {
+          best_concrete = i;
         }
-      } else if (best_abstract == nullptr ||
-                 c.utility.hi() > best_abstract->utility.hi() ||
-                 (c.utility.hi() == best_abstract->utility.hi() &&
-                  c.utility.width() > best_abstract->utility.width())) {
-        best_abstract = &c;
+      } else if (best_abstract == candidates.size() ||
+                 c.utility.hi() > candidates[best_abstract].utility.hi() ||
+                 (c.utility.hi() == candidates[best_abstract].utility.hi() &&
+                  c.utility.width() >
+                      candidates[best_abstract].utility.width())) {
+        best_abstract = i;
       }
     }
-    if (best_abstract == nullptr) {
-      PLANORDER_CHECK(best_concrete != nullptr);
+    if (best_abstract == candidates.size()) {
+      PLANORDER_CHECK(best_concrete != candidates.size());
       DripsResult result;
-      result.winner = best_concrete->plan;
-      result.plan = best_concrete->plan.ToConcrete();
-      result.utility = best_concrete->utility.lo();
+      result.winner = candidates[best_concrete].plan;
+      result.plan = candidates[best_concrete].plan.ToConcrete();
+      result.utility = candidates[best_concrete].utility.lo();
       return result;
     }
 
     // Refinement: replace the most promising abstract plan by the two plans
     // splitting its largest abstract source.
-    const int bucket = PickRefinementBucket(best_abstract->plan);
+    const int bucket = PickRefinementBucket(candidates[best_abstract].plan);
     PLANORDER_CHECK_GE(bucket, 0);
-    const AbstractionForest& forest = *best_abstract->plan.forest;
-    const int node = best_abstract->plan.nodes[bucket];
-    AbstractPlan left = best_abstract->plan;
+    const AbstractionForest& forest = *candidates[best_abstract].plan.forest;
+    const int node = candidates[best_abstract].plan.nodes[bucket];
+    AbstractPlan left = candidates[best_abstract].plan;
     left.nodes[bucket] = forest.left(node);
-    AbstractPlan right = best_abstract->plan;
+    AbstractPlan right = candidates[best_abstract].plan;
     right.nodes[bucket] = forest.right(node);
-    best_abstract->alive = false;
-    eliminate_against_all(add_candidate(std::move(left)));
-    eliminate_against_all(add_candidate(std::move(right)));
+    candidates[best_abstract].alive = false;
+    std::vector<AbstractPlan> children;
+    children.push_back(std::move(left));
+    children.push_back(std::move(right));
+    for (size_t fresh : add_candidates(std::move(children))) {
+      eliminate_against_all(fresh);
+    }
   }
 }
 

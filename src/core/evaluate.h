@@ -37,7 +37,7 @@ struct PlanEvaluation {
 };
 
 inline PlanEvaluation EvaluateWithProbe(const AbstractPlan& plan,
-                                        utility::UtilityModel& model,
+                                        const utility::UtilityModel& model,
                                         const utility::ExecutionContext& ctx,
                                         int64_t* evaluations,
                                         bool use_probes = true) {
@@ -64,7 +64,11 @@ inline PlanEvaluation EvaluateWithProbe(const AbstractPlan& plan,
   }
   result.probe.resize(summaries.size());
   for (size_t b = 0; b < summaries.size(); ++b) {
-    result.probe[b] = model.ProbeMember(*summaries[b]);
+    // Consult the forest's per-node probe memo; the miss path recomputes
+    // without writing so this stays safe under concurrent batch evaluation
+    // (the batch evaluator prefills the memo from its serial phase).
+    const int cached = plan.forest->cached_probe_member(plan.nodes[b]);
+    result.probe[b] = cached >= 0 ? cached : model.ProbeMember(*summaries[b]);
   }
   if (evaluations != nullptr) ++*evaluations;
   const double probe_utility = model.EvaluateConcrete(result.probe, ctx);

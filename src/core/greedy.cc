@@ -14,41 +14,51 @@ StatusOr<std::unique_ptr<GreedyOrderer>> GreedyOrderer::Create(
                              ValidateSpaces(*workload, std::move(spaces)));
   auto orderer =
       std::unique_ptr<GreedyOrderer>(new GreedyOrderer(workload, model));
-  for (PlanSpace& space : spaces) {
-    orderer->heap_.push(orderer->MakeEntry(std::move(space)));
-  }
+  orderer->PushEntries(std::move(spaces));
   return orderer;
 }
 
-GreedyOrderer::Entry GreedyOrderer::MakeEntry(PlanSpace space) {
-  Entry entry;
-  entry.best_plan.resize(space.buckets.size());
-  for (size_t b = 0; b < space.buckets.size(); ++b) {
-    int best = space.buckets[b][0];
-    double best_score = model().MonotoneScore(static_cast<int>(b), best);
-    for (size_t i = 1; i < space.buckets[b].size(); ++i) {
-      const int candidate = space.buckets[b][i];
-      const double score =
-          model().MonotoneScore(static_cast<int>(b), candidate);
-      if (score > best_score) {
-        best = candidate;
-        best_score = score;
+void GreedyOrderer::PushEntries(std::vector<PlanSpace> spaces) {
+  // Each space's best plan (per-bucket MonotoneScore argmax) and its utility
+  // are independent of the other spaces, so the whole batch fans out over
+  // the evaluator's pool. Scores, evaluation counts and — crucially for
+  // heap tie-breaking — the push order are all index-ordered, so the heap
+  // ends up byte-identical to the serial construction.
+  std::vector<Entry> entries(spaces.size());
+  std::vector<int64_t> counts(spaces.size(), 0);
+  evaluator().ParallelFor(spaces.size(), [&](size_t s) {
+    const PlanSpace& space = spaces[s];
+    Entry& entry = entries[s];
+    entry.best_plan.resize(space.buckets.size());
+    for (size_t b = 0; b < space.buckets.size(); ++b) {
+      int best = space.buckets[b][0];
+      double best_score = model().MonotoneScore(static_cast<int>(b), best);
+      for (size_t i = 1; i < space.buckets[b].size(); ++i) {
+        const int candidate = space.buckets[b][i];
+        const double score =
+            model().MonotoneScore(static_cast<int>(b), candidate);
+        if (score > best_score) {
+          best = candidate;
+          best_score = score;
+        }
       }
+      entry.best_plan[b] = best;
     }
-    entry.best_plan[b] = best;
+    ++counts[s];
+    entry.utility = model().EvaluateConcrete(entry.best_plan, ctx());
+  });
+  for (size_t s = 0; s < spaces.size(); ++s) {
+    evaluations_ += counts[s];
+    entries[s].space = std::move(spaces[s]);
+    heap_.push(std::move(entries[s]));
   }
-  entry.utility = Evaluate(entry.best_plan);
-  entry.space = std::move(space);
-  return entry;
 }
 
 StatusOr<OrderedPlan> GreedyOrderer::ComputeNext() {
   if (heap_.empty()) return NotFoundError("plan spaces exhausted");
   Entry top = heap_.top();
   heap_.pop();
-  for (PlanSpace& split : SplitAround(top.space, top.best_plan)) {
-    heap_.push(MakeEntry(std::move(split)));
-  }
+  PushEntries(SplitAround(top.space, top.best_plan));
   return OrderedPlan{top.best_plan, top.utility};
 }
 

@@ -44,8 +44,10 @@ class GreedyOrderer : public Orderer {
   GreedyOrderer(const stats::Workload* workload, utility::UtilityModel* model)
       : Orderer(workload, model) {}
 
-  /// Builds the heap entry for a space: per-bucket argmax of MonotoneScore.
-  Entry MakeEntry(PlanSpace space);
+  /// Builds the heap entries for a batch of spaces (per-bucket argmax of
+  /// MonotoneScore plus one concrete evaluation each), fanning the batch
+  /// over the evaluator's pool, and pushes them in index order.
+  void PushEntries(std::vector<PlanSpace> spaces);
 
   std::priority_queue<Entry, std::vector<Entry>, EntryLess> heap_;
 };

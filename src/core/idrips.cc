@@ -1,27 +1,215 @@
 #include "core/idrips.h"
 
+#include <algorithm>
+#include <limits>
+
+#include "core/evaluate.h"
+
 namespace planorder::core {
+
+StatusOr<std::unique_ptr<IDripsOrderer>> IDripsOrderer::Create(
+    const stats::Workload* workload, utility::UtilityModel* model,
+    std::vector<PlanSpace> spaces, const IDripsOptions& options) {
+  PLANORDER_ASSIGN_OR_RETURN(spaces,
+                             ValidateSpaces(*workload, std::move(spaces)));
+  auto orderer = std::unique_ptr<IDripsOrderer>(
+      new IDripsOrderer(workload, model, options));
+  if (options.persistent_frontier) {
+    for (const PlanSpace& space : spaces) {
+      orderer->forests_.push_back(std::make_unique<AbstractionForest>(
+          AbstractionForest::Build(*workload, space, options.heuristic)));
+    }
+  } else {
+    for (PlanSpace& space : spaces) orderer->AddSpace(std::move(space));
+  }
+  return orderer;
+}
 
 StatusOr<std::unique_ptr<IDripsOrderer>> IDripsOrderer::Create(
     const stats::Workload* workload, utility::UtilityModel* model,
     std::vector<PlanSpace> spaces, AbstractionHeuristic heuristic,
     bool probe_lower_bounds) {
-  PLANORDER_ASSIGN_OR_RETURN(spaces,
-                             ValidateSpaces(*workload, std::move(spaces)));
-  auto orderer = std::unique_ptr<IDripsOrderer>(
-      new IDripsOrderer(workload, model, heuristic, probe_lower_bounds));
-  for (PlanSpace& space : spaces) orderer->AddSpace(std::move(space));
-  return orderer;
+  IDripsOptions options;
+  options.heuristic = heuristic;
+  options.probe_lower_bounds = probe_lower_bounds;
+  return Create(workload, model, std::move(spaces), options);
+}
+
+StatusOr<OrderedPlan> IDripsOrderer::ComputeNext() {
+  return options_.persistent_frontier ? ComputeNextPersistent()
+                                      : ComputeNextRebuild();
+}
+
+IDripsOrderer::Candidate IDripsOrderer::MakeCandidate(
+    AbstractPlan plan, const PlanEvaluation& eval) {
+  Candidate c;
+  c.utility = eval.utility;
+  c.model_lo = eval.model_lo;
+  c.concrete = plan.IsConcrete();
+  c.eval_epoch = static_cast<int64_t>(ctx().epoch());
+  c.summaries = plan.Summaries();
+  c.plan = std::move(plan);
+  return c;
+}
+
+void IDripsOrderer::SeedFrontier() {
+  frontier_seeded_ = true;
+  std::vector<AbstractPlan> roots;
+  roots.reserve(forests_.size());
+  for (const std::unique_ptr<AbstractionForest>& forest : forests_) {
+    AbstractPlan top;
+    top.forest = forest.get();
+    top.nodes.resize(forest->num_buckets());
+    for (int b = 0; b < forest->num_buckets(); ++b) {
+      top.nodes[b] = forest->root(b);
+    }
+    roots.push_back(std::move(top));
+  }
+  std::vector<const AbstractPlan*> batch;
+  batch.reserve(roots.size());
+  for (const AbstractPlan& plan : roots) batch.push_back(&plan);
+  std::vector<PlanEvaluation> evals = evaluator().EvaluateBatch(
+      batch, model(), ctx(), &evaluations_, options_.probe_lower_bounds);
+  frontier_.reserve(roots.size() + 64);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    frontier_.push_back(MakeCandidate(std::move(roots[i]), evals[i]));
+  }
+}
+
+void IDripsOrderer::RefreshStaleCandidates() {
+  // Fully independent measures: no executed plan ever changes a utility.
+  if (model().fully_independent()) return;
+  const std::vector<ConcretePlan>& executed = ctx().executed();
+  const int64_t epoch = static_cast<int64_t>(executed.size());
+  // Phase 1 — staleness test, fanned out (read-only on model and context;
+  // each index touches only its own candidate and flag slot). A candidate
+  // proven group-independent of everything executed since its evaluation
+  // keeps its utility and just fast-forwards its epoch: this is the
+  // incremental win over rebuilding the forests every emission.
+  std::vector<uint8_t> stale(frontier_.size(), 0);
+  evaluator().ParallelFor(frontier_.size(), [&](size_t i) {
+    Candidate& c = frontier_[i];
+    const utility::NodeSpan span(c.summaries.data(), c.summaries.size());
+    for (size_t e = static_cast<size_t>(c.eval_epoch); e < executed.size();
+         ++e) {
+      if (!model().GroupIndependentOf(span, executed[e])) {
+        stale[i] = 1;
+        return;
+      }
+    }
+    c.eval_epoch = epoch;
+  });
+  // Phase 2 — batch re-evaluation of the stale candidates, in index order.
+  std::vector<size_t> stale_indices;
+  std::vector<const AbstractPlan*> batch;
+  for (size_t i = 0; i < frontier_.size(); ++i) {
+    if (stale[i] != 0) {
+      stale_indices.push_back(i);
+      batch.push_back(&frontier_[i].plan);
+    }
+  }
+  if (batch.empty()) return;
+  std::vector<PlanEvaluation> evals = evaluator().EvaluateBatch(
+      batch, model(), ctx(), &evaluations_, options_.probe_lower_bounds);
+  for (size_t j = 0; j < stale_indices.size(); ++j) {
+    Candidate& c = frontier_[stale_indices[j]];
+    c.utility = evals[j].utility;
+    c.model_lo = evals[j].model_lo;
+    c.eval_epoch = epoch;
+  }
+}
+
+StatusOr<OrderedPlan> IDripsOrderer::ComputeNextPersistent() {
+  if (!frontier_seeded_) SeedFrontier();
+  if (frontier_.empty()) return NotFoundError("plan spaces exhausted");
+  RefreshStaleCandidates();
+  while (true) {
+    // The frontier partitions the un-emitted plans and every enclosure is
+    // current, so the best concrete candidate whose exact utility reaches
+    // every abstract upper bound is the true conditional maximum.
+    size_t best_concrete = frontier_.size();
+    for (size_t i = 0; i < frontier_.size(); ++i) {
+      const Candidate& c = frontier_[i];
+      if (!c.concrete) continue;
+      if (best_concrete == frontier_.size() ||
+          c.utility.lo() > frontier_[best_concrete].utility.lo()) {
+        best_concrete = i;
+      }
+    }
+    const double bar = best_concrete == frontier_.size()
+                           ? -std::numeric_limits<double>::infinity()
+                           : frontier_[best_concrete].utility.lo();
+    std::vector<size_t> targets;
+    for (size_t i = 0; i < frontier_.size(); ++i) {
+      const Candidate& c = frontier_[i];
+      if (!c.concrete && c.utility.hi() > bar) targets.push_back(i);
+    }
+    if (targets.empty()) {
+      PLANORDER_CHECK(best_concrete != frontier_.size());
+      OrderedPlan result{frontier_[best_concrete].plan.ToConcrete(),
+                         frontier_[best_concrete].utility.lo()};
+      // The winner cell is a single plan, so erasing it keeps the remaining
+      // cells a partition of the un-emitted plans — no re-abstraction.
+      frontier_.erase(frontier_.begin() +
+                      static_cast<ptrdiff_t>(best_concrete));
+      return result;
+    }
+    // Speculative top-K refinement: split the most promising abstract
+    // candidates (highest upper bound first; ties by wider interval, then
+    // lower index) and evaluate all 2K children as one batch. K is fixed by
+    // options, never by the thread count, so the refinement sequence — and
+    // with it every emitted plan — is identical in serial and parallel runs.
+    std::sort(targets.begin(), targets.end(), [&](size_t a, size_t b) {
+      const Interval& ua = frontier_[a].utility;
+      const Interval& ub = frontier_[b].utility;
+      if (ua.hi() != ub.hi()) return ua.hi() > ub.hi();
+      if (ua.width() != ub.width()) return ua.width() > ub.width();
+      return a < b;
+    });
+    if (targets.size() > static_cast<size_t>(options_.refine_width)) {
+      targets.resize(static_cast<size_t>(options_.refine_width));
+    }
+    std::vector<AbstractPlan> children;
+    children.reserve(targets.size() * 2);
+    for (size_t t : targets) {
+      const AbstractPlan& plan = frontier_[t].plan;
+      const int bucket = RefinementBucket(plan);
+      PLANORDER_CHECK_GE(bucket, 0);
+      const AbstractionForest& forest = *plan.forest;
+      const int node = plan.nodes[bucket];
+      AbstractPlan left = plan;
+      left.nodes[bucket] = forest.left(node);
+      AbstractPlan right = plan;
+      right.nodes[bucket] = forest.right(node);
+      children.push_back(std::move(left));
+      children.push_back(std::move(right));
+    }
+    std::vector<const AbstractPlan*> batch;
+    batch.reserve(children.size());
+    for (const AbstractPlan& plan : children) batch.push_back(&plan);
+    std::vector<PlanEvaluation> evals = evaluator().EvaluateBatch(
+        batch, model(), ctx(), &evaluations_, options_.probe_lower_bounds);
+    // Each target is replaced in place by its left child; right children
+    // append. Deterministic because targets and children are index-ordered.
+    for (size_t k = 0; k < targets.size(); ++k) {
+      Candidate right =
+          MakeCandidate(std::move(children[2 * k + 1]), evals[2 * k + 1]);
+      frontier_[targets[k]] =
+          MakeCandidate(std::move(children[2 * k]), evals[2 * k]);
+      frontier_.push_back(std::move(right));
+    }
+  }
 }
 
 void IDripsOrderer::AddSpace(PlanSpace space) {
   auto entry = std::make_unique<SpaceEntry>();
-  entry->forest = AbstractionForest::Build(ctx().workload(), space, heuristic_);
+  entry->forest =
+      AbstractionForest::Build(ctx().workload(), space, options_.heuristic);
   entry->space = std::move(space);
   spaces_.push_back(std::move(entry));
 }
 
-StatusOr<OrderedPlan> IDripsOrderer::ComputeNext() {
+StatusOr<OrderedPlan> IDripsOrderer::ComputeNextRebuild() {
   if (spaces_.empty()) return NotFoundError("plan spaces exhausted");
   std::vector<AbstractPlan> starts;
   starts.reserve(spaces_.size());
@@ -34,9 +222,10 @@ StatusOr<OrderedPlan> IDripsOrderer::ComputeNext() {
     }
     starts.push_back(std::move(top));
   }
-  PLANORDER_ASSIGN_OR_RETURN(DripsResult best,
-                             RunDrips(starts, model(), ctx(), &evaluations_,
-                                      probe_lower_bounds_));
+  PLANORDER_ASSIGN_OR_RETURN(
+      DripsResult best,
+      RunDrips(starts, model(), ctx(), &evaluations_,
+               options_.probe_lower_bounds, &evaluator()));
 
   // Remove the winner from its space and re-abstract the split spaces.
   size_t winner_index = spaces_.size();

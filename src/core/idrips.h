@@ -9,13 +9,40 @@
 
 namespace planorder::core {
 
+/// Tuning knobs of IDripsOrderer (defaults reproduce the paper's exact
+/// ordering semantics at the lowest evaluation cost).
+struct IDripsOptions {
+  AbstractionHeuristic heuristic = AbstractionHeuristic::kByCardinality;
+  bool probe_lower_bounds = false;
+  /// Persistent candidate frontier (DESIGN.md §6): keep the surviving Drips
+  /// candidates across ComputeNext() calls, re-evaluate only candidates whose
+  /// utility the executed suffix may have changed (epoch + group-independence
+  /// test), and remove just the winner's cell instead of re-abstracting from
+  /// the forest roots. Emission order and utilities are identical to the
+  /// rebuild mode; only the evaluation count (and wall clock) drops. When
+  /// false, reproduces the original behavior — re-run Drips from the roots
+  /// each emission and re-abstract the split spaces — kept for the
+  /// evaluations-per-emission comparison in bench_core_parallel.
+  bool persistent_frontier = true;
+  /// Number of abstract candidates refined per round in persistent mode
+  /// (each contributes two children to one evaluation batch). Fixed
+  /// independently of the thread count so serial and parallel runs perform
+  /// the same refinements in the same order.
+  int refine_width = 8;
+};
+
 /// The iDrips algorithm (Section 5.2): run Drips across the current plan
-/// spaces to find the best plan, emit it, remove it from its space by
-/// recursive splitting, re-abstract the new spaces, repeat. Works for any
-/// utility measure; rebuilds all dominance information every iteration
-/// (the inefficiency Streamer addresses).
+/// spaces to find the best plan, emit it, remove it, repeat. Works for any
+/// utility measure. The persistent-frontier mode (default; DESIGN.md §6)
+/// keeps the Drips candidate partition alive between emissions so dominance
+/// information is carried forward instead of rebuilt every iteration.
 class IDripsOrderer : public Orderer {
  public:
+  static StatusOr<std::unique_ptr<IDripsOrderer>> Create(
+      const stats::Workload* workload, utility::UtilityModel* model,
+      std::vector<PlanSpace> spaces, const IDripsOptions& options);
+
+  /// Legacy signature (pre-options); forwards to the options overload.
   static StatusOr<std::unique_ptr<IDripsOrderer>> Create(
       const stats::Workload* workload, utility::UtilityModel* model,
       std::vector<PlanSpace> spaces,
@@ -23,6 +50,10 @@ class IDripsOrderer : public Orderer {
       bool probe_lower_bounds = false);
 
   std::string name() const override { return "idrips"; }
+
+  /// Candidates currently alive in the persistent frontier (0 in rebuild
+  /// mode); exposed for tests and benchmarks.
+  size_t frontier_size() const { return frontier_.size(); }
 
  protected:
   StatusOr<OrderedPlan> ComputeNext() override;
@@ -33,17 +64,46 @@ class IDripsOrderer : public Orderer {
     AbstractionForest forest;
   };
 
-  IDripsOrderer(const stats::Workload* workload, utility::UtilityModel* model,
-                AbstractionHeuristic heuristic, bool probe_lower_bounds)
-      : Orderer(workload, model),
-        heuristic_(heuristic),
-        probe_lower_bounds_(probe_lower_bounds) {}
+  /// One cell of the persistent frontier: an abstract plan (concrete = all
+  /// leaves), its utility enclosure, and the epoch at which that enclosure
+  /// was computed. The alive cells always partition the un-emitted plans.
+  struct Candidate {
+    AbstractPlan plan;
+    std::vector<const stats::StatSummary*> summaries;
+    Interval utility = Interval::Point(0.0);
+    double model_lo = 0.0;
+    bool concrete = false;
+    int64_t eval_epoch = 0;
+  };
 
+  IDripsOrderer(const stats::Workload* workload, utility::UtilityModel* model,
+                const IDripsOptions& options)
+      : Orderer(workload, model), options_(options) {}
+
+  StatusOr<OrderedPlan> ComputeNextPersistent();
+  StatusOr<OrderedPlan> ComputeNextRebuild();
+
+  /// Rebuild mode: (re-)abstract a split space.
   void AddSpace(PlanSpace space);
 
-  AbstractionHeuristic heuristic_;
-  bool probe_lower_bounds_ = true;
+  /// Persistent mode: populate the frontier with the root plan of every
+  /// forest (the initial partition of the whole plan space).
+  void SeedFrontier();
+
+  /// Persistent mode: bring every candidate's utility up to the current
+  /// epoch. Candidates group-independent of the executed suffix fast-forward
+  /// without re-evaluation; the rest are re-evaluated in one batch.
+  void RefreshStaleCandidates();
+
+  Candidate MakeCandidate(AbstractPlan plan, const PlanEvaluation& eval);
+
+  IDripsOptions options_;
+  /// Rebuild mode state.
   std::vector<std::unique_ptr<SpaceEntry>> spaces_;
+  /// Persistent mode state. Forests are never rebuilt; stable addresses.
+  std::vector<std::unique_ptr<AbstractionForest>> forests_;
+  std::vector<Candidate> frontier_;
+  bool frontier_seeded_ = false;
 };
 
 }  // namespace planorder::core

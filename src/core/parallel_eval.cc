@@ -1,0 +1,77 @@
+#include "core/parallel_eval.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace planorder::core {
+namespace {
+
+/// Below this many items a fan-out costs more in queueing than it saves.
+constexpr size_t kMinParallelItems = 4;
+
+}  // namespace
+
+void BatchEvaluator::ParallelFor(size_t n,
+                                 const std::function<void(size_t)>& fn) const {
+  // Self-scheduling loop over an atomic chunk cursor: the caller submits up
+  // to `threads - 1` helper tasks and then works through chunks itself, so a
+  // batch never blocks on worker wakeup latency and the queue sees a handful
+  // of submissions instead of one per chunk. Chunking affects only
+  // scheduling, never results (every index writes its own slot).
+  const size_t threads =
+      pool_ == nullptr ? 1 : static_cast<size_t>(pool_->num_threads());
+  const size_t chunks = std::min(n, threads * 4);
+  const size_t helpers =
+      threads < 2 || n < kMinParallelItems ? 0 : std::min(threads, chunks) - 1;
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const size_t grain = (n + chunks - 1) / chunks;
+  std::atomic<size_t> cursor{0};
+  const auto run = [&cursor, &fn, n, grain] {
+    while (true) {
+      const size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const size_t end = std::min(n, begin + grain);
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+  runtime::TaskGroup group(pool_);
+  for (size_t t = 0; t < helpers; ++t) group.Submit(run);
+  run();
+  group.Wait();
+}
+
+std::vector<PlanEvaluation> BatchEvaluator::EvaluateBatch(
+    const std::vector<const AbstractPlan*>& plans,
+    const utility::UtilityModel& model, const utility::ExecutionContext& ctx,
+    int64_t* evaluations, bool use_probes) const {
+  std::vector<PlanEvaluation> results(plans.size());
+  if (plans.empty()) return results;
+  // Serial phase: fill the per-node probe memo so workers only read it.
+  if (use_probes) {
+    for (const AbstractPlan* plan : plans) {
+      for (size_t b = 0; b < plan->nodes.size(); ++b) {
+        const int node = plan->nodes[b];
+        if (plan->forest->cached_probe_member(node) < 0) {
+          plan->forest->set_cached_probe_member(
+              node, model.ProbeMember(plan->forest->summary(node)));
+        }
+      }
+    }
+  }
+  std::vector<int64_t> counts(plans.size(), 0);
+  ParallelFor(plans.size(), [&](size_t i) {
+    results[i] =
+        EvaluateWithProbe(*plans[i], model, ctx, &counts[i], use_probes);
+  });
+  // Index-ordered merge of the counters: the shared total advances exactly
+  // as a serial loop would have advanced it.
+  if (evaluations != nullptr) {
+    for (size_t i = 0; i < plans.size(); ++i) *evaluations += counts[i];
+  }
+  return results;
+}
+
+}  // namespace planorder::core

@@ -1,0 +1,54 @@
+#ifndef PLANORDER_CORE_PARALLEL_EVAL_H_
+#define PLANORDER_CORE_PARALLEL_EVAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/evaluate.h"
+#include "runtime/thread_pool.h"
+
+namespace planorder::core {
+
+/// Deterministic batched utility evaluation — the fan-out point every
+/// ordering algorithm shares (iDrips frontier refreshes and refinements,
+/// Greedy's split-space entries, Streamer's step-2.a recomputations).
+///
+/// The evaluator borrows an optional runtime::ThreadPool; with a pool the
+/// batch runs on the workers, without one it runs inline. Either way the
+/// outcome is byte-identical to a serial loop over the batch:
+///  - every item writes only its own index-addressed slot, so the merged
+///    result vector does not depend on scheduling;
+///  - evaluation counts are accumulated per item and folded into the shared
+///    counter in index order after the join;
+///  - the forest probe memo is prefilled in the serial phase before fan-out,
+///    so workers never write shared caches.
+/// UtilityModel::Evaluate is const and models hold no mutable state (the
+/// thread-safety contract audited in DESIGN.md §6), so concurrent evaluation
+/// over one shared ExecutionContext snapshot is race-free.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(runtime::ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  runtime::ThreadPool* pool() const { return pool_; }
+  void set_pool(runtime::ThreadPool* pool) { pool_ = pool; }
+
+  /// Runs fn(0..n-1), on the pool when available and the batch is worth
+  /// fanning out, inline otherwise. fn must only touch state owned by its
+  /// index. Blocks until every call returned.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) const;
+
+  /// Evaluates every plan of the batch (EvaluateWithProbe semantics) and
+  /// returns the results in batch order. `*evaluations`, when non-null, is
+  /// advanced exactly as the serial loop would advance it.
+  std::vector<PlanEvaluation> EvaluateBatch(
+      const std::vector<const AbstractPlan*>& plans,
+      const utility::UtilityModel& model, const utility::ExecutionContext& ctx,
+      int64_t* evaluations, bool use_probes) const;
+
+ private:
+  runtime::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace planorder::core
+
+#endif  // PLANORDER_CORE_PARALLEL_EVAL_H_

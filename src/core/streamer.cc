@@ -127,19 +127,34 @@ StatusOr<OrderedPlan> StreamerOrderer::ComputeNext() {
   while (true) {
     if (nondominated_.empty()) return NotFoundError("plan spaces exhausted");
 
-    // (2.a) Recompute nil (or stale) utilities of nondominated plans.
+    // (2.a) Recompute nil (or stale) utilities of nondominated plans. The
+    // staleness walk (one group-independence test per executed plan since a
+    // node's evaluation) and the re-evaluations both fan out over the
+    // evaluator's pool: every index touches only its own node, and the
+    // evaluation counter is folded in nondominated (= index) order, so the
+    // result is identical to the serial loop.
     snapshot.clear();
-    for (int n : nondominated_) {
-      Node& node = nodes_[n];
-      if (!UtilityCurrent(node)) {
-        const PlanEvaluation eval = EvaluateWithProbe(
-            node.plan, model(), ctx(), &evaluations_, probe_lower_bounds_);
-        node.utility = eval.utility;
-        node.model_lo = eval.model_lo;
-        node.probe = eval.probe;
-        node.eval_epoch = ctx().epoch();
+    snapshot.insert(snapshot.end(), nondominated_.begin(), nondominated_.end());
+    std::vector<uint8_t> is_stale(snapshot.size(), 0);
+    evaluator().ParallelFor(snapshot.size(), [&](size_t j) {
+      is_stale[j] = UtilityCurrent(nodes_[snapshot[j]]) ? 0 : 1;
+    });
+    std::vector<int> stale;
+    std::vector<const AbstractPlan*> batch;
+    for (size_t j = 0; j < snapshot.size(); ++j) {
+      if (is_stale[j] != 0) {
+        stale.push_back(snapshot[j]);
+        batch.push_back(&nodes_[snapshot[j]].plan);
       }
-      snapshot.push_back(n);
+    }
+    const std::vector<PlanEvaluation> evals = evaluator().EvaluateBatch(
+        batch, model(), ctx(), &evaluations_, probe_lower_bounds_);
+    for (size_t j = 0; j < stale.size(); ++j) {
+      Node& node = nodes_[stale[j]];
+      node.utility = evals[j].utility;
+      node.model_lo = evals[j].model_lo;
+      node.probe = evals[j].probe;
+      node.eval_epoch = ctx().epoch();
     }
 
     // (2.b) Create domination links among the nondominated plans. Any

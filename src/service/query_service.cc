@@ -25,6 +25,10 @@ QueryService::QueryService(const datalog::Catalog* catalog,
                           ? nullptr
                           : exec::MakeSetOrientedExecutor(source_facts)),
       executor_(executor != nullptr ? executor : owned_executor_.get()),
+      eval_pool_(options_.eval_threads > 0
+                     ? std::make_unique<runtime::ThreadPool>(
+                           options_.eval_threads)
+                     : nullptr),
       cache_(options_.cache_capacity) {}
 
 Status QueryService::Admit() {
@@ -149,6 +153,7 @@ StatusOr<std::unique_ptr<Session>> QueryService::OpenSession(
       break;
     }
   }
+  if (eval_pool_ != nullptr) session->orderer_->set_eval_pool(eval_pool_.get());
   session->mediator_ = std::make_unique<exec::Mediator>(
       catalog_, session->reformulation_->canonical.query, source_facts_,
       session->reformulation_->buckets.buckets);

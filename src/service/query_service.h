@@ -9,6 +9,7 @@
 #include "datalog/source.h"
 #include "exec/mediator.h"
 #include "reformulation/statistics.h"
+#include "runtime/thread_pool.h"
 #include "service/metrics.h"
 #include "service/reformulation_cache.h"
 #include "service/session.h"
@@ -35,6 +36,11 @@ struct ServiceOptions {
 
   enum class OrdererKind { kStreamer, kIDrips };
   OrdererKind orderer = OrdererKind::kStreamer;
+
+  /// Worker threads of the service-owned pool shared by every session's
+  /// orderer for batched utility evaluation (plan order and utilities are
+  /// identical with and without it); 0 = sessions evaluate serially.
+  int eval_threads = 0;
 
   /// Statistics estimation knobs for cold (uncached) reformulations.
   reformulation::EstimateOptions estimate;
@@ -113,6 +119,9 @@ class QueryService {
   const ServiceOptions options_;
   std::unique_ptr<exec::PlanExecutor> owned_executor_;
   exec::PlanExecutor* executor_;  // owned_executor_.get() or caller's
+  /// Shared across all sessions' orderers (ThreadPool::Submit is
+  /// thread-safe); null when options_.eval_threads == 0.
+  std::unique_ptr<runtime::ThreadPool> eval_pool_;
   ReformulationCache cache_;
   LatencyHistogram latency_;
 

@@ -13,6 +13,8 @@ CoverageUniverse::CoverageUniverse(
         << "between 1 and 64 regions per bucket";
   }
   covered_.assign(FlatSize(), 0);
+  covered_union_.assign(weights_.size(), 0);
+  covered_intersection_.assign(weights_.size(), ~uint64_t{0});
 }
 
 size_t CoverageUniverse::FlatSize() const {
@@ -47,6 +49,21 @@ double CoverageUniverse::UncoveredBoxVolume(
   PLANORDER_CHECK_EQ(box.size(), weights_.size());
   const int m = num_dimensions();
   const int last = m - 1;
+  if (num_boxes_ == 0) return BoxVolume(box);
+  bool contained_everywhere = true;
+  for (int d = 0; d < m; ++d) {
+    // Disjoint from the union of executed masks in any one dimension means
+    // no cell of the box can be covered.
+    if ((box[d].bits & covered_union_[static_cast<size_t>(d)]) == 0) {
+      return BoxVolume(box);
+    }
+    if ((box[d].bits & ~covered_intersection_[static_cast<size_t>(d)]) != 0) {
+      contained_everywhere = false;
+    }
+  }
+  // Inside every executed box's mask in every dimension: already any single
+  // executed box covers all of this box's cells.
+  if (contained_everywhere) return 0.0;
   // Iterate the cells of the box over dims 0..m-2; for each, subtract the
   // covered regions from the last dimension's mask and sum the survivors.
   double total = 0.0;
@@ -77,6 +94,9 @@ double CoverageUniverse::UncoveredBoxVolume(
     int r = __builtin_ctzll(remaining[d]);
     remaining[d] &= remaining[d] - 1;
     prefix[d + 1] = prefix[d] * weights_[d][r];
+    // Every cell under a zero-weight prefix contributes exactly 0; skip the
+    // whole subtree (or, at the innermost level, the covered-mask lookup).
+    if (prefix[d + 1] == 0.0) continue;
     flat_prefix[d + 1] = flat_prefix[d] + static_cast<size_t>(r) * stride[d];
     if (d == last - 1) {
       flat = flat_prefix[d + 1];
@@ -96,6 +116,11 @@ void CoverageUniverse::AddBox(const std::vector<RegionMask>& box) {
   PLANORDER_CHECK_EQ(box.size(), weights_.size());
   const int m = num_dimensions();
   const int last = m - 1;
+  ++num_boxes_;
+  for (int d = 0; d < m; ++d) {
+    covered_union_[static_cast<size_t>(d)] |= box[d].bits;
+    covered_intersection_[static_cast<size_t>(d)] &= box[d].bits;
+  }
   if (last == 0) {
     covered_[0] |= box[0].bits;
     return;
@@ -127,6 +152,11 @@ void CoverageUniverse::AddBox(const std::vector<RegionMask>& box) {
   }
 }
 
-void CoverageUniverse::Clear() { covered_.assign(covered_.size(), 0); }
+void CoverageUniverse::Clear() {
+  covered_.assign(covered_.size(), 0);
+  covered_union_.assign(weights_.size(), 0);
+  covered_intersection_.assign(weights_.size(), ~uint64_t{0});
+  num_boxes_ = 0;
+}
 
 }  // namespace planorder::stats

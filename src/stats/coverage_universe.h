@@ -37,6 +37,13 @@ class CoverageUniverse {
 
   /// Weight of the box cells not yet covered by any executed box: the
   /// conditional coverage of a plan whose per-bucket region sets are `box`.
+  ///
+  /// Fast paths (DESIGN.md §6) avoid the cell enumeration entirely when
+  ///  - nothing has executed yet (the common first-emission case),
+  ///  - the box is disjoint from every executed box in some dimension, or
+  ///  - the box lies inside every executed box in all dimensions (-> 0);
+  /// and the enumeration itself skips zero-weight prefix subtrees, whose
+  /// cells contribute exactly nothing.
   double UncoveredBoxVolume(const std::vector<RegionMask>& box) const;
 
   /// Marks every cell of `box` covered (an executed plan).
@@ -44,6 +51,9 @@ class CoverageUniverse {
 
   /// Forgets all executed boxes.
   void Clear();
+
+  /// Number of boxes marked covered since construction / Clear().
+  int64_t num_covered_boxes() const { return num_boxes_; }
 
   /// Sum of weights of the regions in `mask` along `dimension`.
   double MaskWeight(int dimension, RegionMask mask) const;
@@ -54,6 +64,12 @@ class CoverageUniverse {
   std::vector<std::vector<double>> weights_;
   /// covered_[flat index over dims 0..m-2] = mask over dim m-1.
   std::vector<uint64_t> covered_;
+  /// Per-dimension union / intersection of the executed boxes' masks, the
+  /// keys to the disjointness and containment fast paths. intersection is
+  /// meaningful only when num_boxes_ > 0.
+  std::vector<uint64_t> covered_union_;
+  std::vector<uint64_t> covered_intersection_;
+  int64_t num_boxes_ = 0;
 };
 
 }  // namespace planorder::stats

@@ -212,5 +212,51 @@ TEST(CoverageUniverseTest, MonotoneUnderExecutions) {
   }
 }
 
+TEST(CoverageUniverseFastPathTest, EmptyUniverseReturnsBoxVolume) {
+  // Unnormalized weights (documented as allowed) take the same fast path.
+  CoverageUniverse u({{2.0, 3.0}, {0.5, 4.0, 1.5}});
+  EXPECT_EQ(u.num_covered_boxes(), 0);
+  const std::vector<RegionMask> box = {RegionMask{0b11}, RegionMask{0b101}};
+  EXPECT_DOUBLE_EQ(u.UncoveredBoxVolume(box), u.BoxVolume(box));
+  EXPECT_DOUBLE_EQ(u.UncoveredBoxVolume(box), 10.0);  // (2+3) * (0.5+1.5)
+}
+
+TEST(CoverageUniverseFastPathTest, DisjointDimensionReturnsFullVolume) {
+  CoverageUniverse u({Uniform(4), Uniform(4)});
+  u.AddBox({RegionMask{0b0011}, RegionMask{0b0011}});
+  u.AddBox({RegionMask{0b0001}, RegionMask{0b1100}});
+  EXPECT_EQ(u.num_covered_boxes(), 2);
+  // Disjoint from every executed box in dimension 0 -> nothing covered,
+  // regardless of dimension-1 overlap.
+  const std::vector<RegionMask> probe = {RegionMask{0b1100},
+                                         RegionMask{0b1111}};
+  EXPECT_DOUBLE_EQ(u.UncoveredBoxVolume(probe), u.BoxVolume(probe));
+}
+
+TEST(CoverageUniverseFastPathTest, ContainedBoxIsFullyCovered) {
+  CoverageUniverse u({Uniform(4), Uniform(4)});
+  u.AddBox({RegionMask{0b0111}, RegionMask{0b1110}});
+  // Inside the executed box in every dimension -> exactly zero uncovered.
+  EXPECT_DOUBLE_EQ(
+      u.UncoveredBoxVolume({RegionMask{0b0011}, RegionMask{0b0110}}), 0.0);
+  // One region poking out in dimension 1 leaves just that column uncovered.
+  EXPECT_DOUBLE_EQ(
+      u.UncoveredBoxVolume({RegionMask{0b0011}, RegionMask{0b0001}}),
+      2.0 / 16.0);
+}
+
+TEST(CoverageUniverseFastPathTest, ZeroWeightRegionsContributeNothing) {
+  // Zero-weight prefixes are pruned subtrees; the result is exactly the
+  // weighted-cell sum. Weights deliberately unnormalized.
+  CoverageUniverse u({{0.0, 2.0}, {1.0, 0.0, 3.0}});
+  u.AddBox({RegionMask{0b10}, RegionMask{0b100}});  // covers cell (1,2) = 6
+  const std::vector<RegionMask> all = {RegionMask{0b11}, RegionMask{0b111}};
+  // Total volume 2*(1+0+3) = 8 minus the covered cell's 6.
+  EXPECT_DOUBLE_EQ(u.UncoveredBoxVolume(all), 2.0);
+  u.Clear();
+  EXPECT_EQ(u.num_covered_boxes(), 0);
+  EXPECT_DOUBLE_EQ(u.UncoveredBoxVolume(all), u.BoxVolume(all));
+}
+
 }  // namespace
 }  // namespace planorder::stats

@@ -113,6 +113,38 @@ TEST(DripsTest, PaperExampleSavesEvaluations) {
   EXPECT_LT(evaluations, 256);
 }
 
+TEST(DripsTest, ManyRefinementsSurviveCandidateReallocation) {
+  // Regression: the candidate vector reserves starts + 64 slots, and every
+  // refinement inserts two more candidates, so enough refinements force a
+  // reallocation mid-run. The selection of the best abstract/concrete
+  // candidate used to hold raw pointers into the vector across insertions;
+  // with a single start, >64 insertions guarantee the reallocation happens
+  // (index-based bookkeeping keeps this safe; under ASan the old pointer
+  // code faults here).
+  stats::Workload w = MakeWorkload(3, 16, 0.3, 81);
+  auto model = MustMakeMeasure(Measure::kFailureNoCache, &w);
+  utility::ExecutionContext ctx(&w);
+  const PlanSpace space = PlanSpace::FullSpace(w);
+  const AbstractionForest forest =
+      AbstractionForest::Build(w, space, AbstractionHeuristic::kByCardinality);
+  int64_t evaluations = 0;
+  auto result = RunDrips({TopPlan(forest)}, *model, ctx, &evaluations);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Without probes every inserted candidate costs exactly one evaluation, so
+  // this asserts the run really outgrew the initial 1 + 64 reservation.
+  EXPECT_GT(evaluations, 65);
+
+  double best = -1e300;
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      for (int c = 0; c < 16; ++c) {
+        best = std::max(best, model->EvaluateConcrete({a, b, c}, ctx));
+      }
+    }
+  }
+  EXPECT_NEAR(result->utility, best, 1e-9);
+}
+
 TEST(DripsTest, MultipleForestsPickGlobalBest) {
   stats::Workload w = MakeWorkload(2, 6, 0.3, 70);
   auto model = MustMakeMeasure(Measure::kCoverage, &w);
