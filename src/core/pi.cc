@@ -10,21 +10,10 @@ StatusOr<std::unique_ptr<PiOrderer>> PiOrderer::Create(
   auto orderer = std::unique_ptr<PiOrderer>(
       new PiOrderer(workload, model, use_independence));
   for (const PlanSpace& space : spaces) {
-    // Enumerate the Cartesian product with an odometer.
-    ConcretePlan plan(space.buckets.size());
-    std::vector<size_t> cursor(space.buckets.size(), 0);
-    while (true) {
-      for (size_t b = 0; b < space.buckets.size(); ++b) {
-        plan[b] = space.buckets[b][cursor[b]];
-      }
-      orderer->plans_.push_back(plan);
-      size_t b = 0;
-      for (; b < space.buckets.size(); ++b) {
-        if (++cursor[b] < space.buckets[b].size()) break;
-        cursor[b] = 0;
-      }
-      if (b == space.buckets.size()) break;
-    }
+    std::vector<ConcretePlan> plans = EnumeratePlans(space);
+    orderer->plans_.insert(orderer->plans_.end(),
+                           std::make_move_iterator(plans.begin()),
+                           std::make_move_iterator(plans.end()));
   }
   orderer->utilities_.resize(orderer->plans_.size(), 0.0);
   orderer->dirty_.assign(orderer->plans_.size(), 1);

@@ -1,0 +1,10 @@
+#include "runtime/clock.h"
+
+namespace planorder::runtime {
+
+RealClock* RealClock::Instance() {
+  static RealClock* clock = new RealClock();
+  return clock;
+}
+
+}  // namespace planorder::runtime

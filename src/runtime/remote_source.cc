@@ -1,8 +1,5 @@
 #include "runtime/remote_source.h"
 
-#include <chrono>
-#include <thread>
-
 #include "base/rng.h"
 
 namespace planorder::runtime {
@@ -36,12 +33,6 @@ uint64_t BatchHash(uint64_t seed,
 double JitterMultiplier(double jitter, uint64_t hash) {
   if (jitter <= 0.0) return 1.0;
   return 1.0 + jitter * (2.0 * HashToUnit(hash) - 1.0);
-}
-
-void SleepSimulated(double simulated_ms, double dilation) {
-  if (simulated_ms <= 0.0 || dilation <= 0.0) return;
-  std::this_thread::sleep_for(
-      std::chrono::duration<double, std::milli>(simulated_ms * dilation));
 }
 
 }  // namespace
@@ -119,7 +110,7 @@ StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
       if (latency_ms > acct.latency_ms_max) acct.latency_ms_max = latency_ms;
       if (hedged) ++acct.hedged_calls;
       commit();
-      SleepSimulated(latency_ms, time_dilation_);
+      clock_->SleepMs(latency_ms, time_dilation_);
       if (simulated_ms != nullptr) *simulated_ms += call_total_ms;
       return rows;
     }
@@ -134,7 +125,7 @@ StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
       ++acct.transient_failures;
     }
     if (hedged) ++acct.hedged_calls;
-    SleepSimulated(latency_ms, time_dilation_);
+    clock_->SleepMs(latency_ms, time_dilation_);
     if (attempt >= max_attempts) {
       commit();
       if (simulated_ms != nullptr) *simulated_ms += call_total_ms;
@@ -155,7 +146,7 @@ StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
     }
     call_total_ms += backoff_ms;
     ++acct.retries;
-    SleepSimulated(backoff_ms, time_dilation_);
+    clock_->SleepMs(backoff_ms, time_dilation_);
   }
 }
 
@@ -216,6 +207,10 @@ Status RemoteRegistry::Configure(const std::string& name,
 
 void RemoteRegistry::set_time_dilation(double dilation) {
   for (auto& [unused, source] : sources_) source->set_time_dilation(dilation);
+}
+
+void RemoteRegistry::set_clock(Clock* clock) {
+  for (auto& [unused, source] : sources_) source->set_clock(clock);
 }
 
 exec::RuntimeAccounting RemoteRegistry::TotalStats() const {

@@ -12,6 +12,7 @@
 #include "datalog/term.h"
 #include "exec/mediator.h"
 #include "exec/source_access.h"
+#include "runtime/clock.h"
 #include "runtime/retry_policy.h"
 
 namespace planorder::runtime {
@@ -73,6 +74,14 @@ class RemoteSource {
   /// (logic tests). Accounting always records undilated simulated time.
   void set_time_dilation(double dilation) { time_dilation_ = dilation; }
 
+  /// Substitutes the time source every simulated wait is charged through
+  /// (borrowed; defaults to the process-wide RealClock). Inject a
+  /// VirtualClock to replay fault/latency schedules deterministically with
+  /// no real sleeping — the simulation harness's determinism hook. Like
+  /// set_model, must be called before concurrent calls begin.
+  void set_clock(Clock* clock) { clock_ = clock; }
+  Clock& clock() const { return *clock_; }
+
   /// One resilient batched access (semantics of AccessibleSource::FetchBatch,
   /// including the uniform-position-set precondition). Transient failures
   /// and deadline timeouts are retried per `retry`; exhausting attempts or a
@@ -100,6 +109,7 @@ class RemoteSource {
   uint64_t seed_;
   NetworkModel model_;
   double time_dilation_ = 1.0;
+  Clock* clock_ = RealClock::Instance();
   mutable std::mutex mu_;           // guards source_ fetches and stats_
   exec::RuntimeAccounting stats_;   // guarded by mu_
 };
@@ -120,6 +130,8 @@ class RemoteRegistry {
   void ConfigureAll(const NetworkModel& model);
   Status Configure(const std::string& name, const NetworkModel& model);
   void set_time_dilation(double dilation);
+  /// Routes every source's simulated waits through `clock` (borrowed).
+  void set_clock(Clock* clock);
 
   /// Aggregated runtime accounting across sources.
   exec::RuntimeAccounting TotalStats() const;

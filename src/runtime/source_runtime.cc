@@ -12,6 +12,7 @@ SourceRuntime::SourceRuntime(exec::SourceRegistry* sources,
       remotes_(sources, options.seed) {
   remotes_.ConfigureAll(options_.default_model);
   remotes_.set_time_dilation(options_.time_dilation);
+  if (options_.clock != nullptr) remotes_.set_clock(options_.clock);
   join_options_.max_partitions = options_.max_partitions_per_call > 0
                                      ? options_.max_partitions_per_call
                                      : pool_.num_threads();

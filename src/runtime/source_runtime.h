@@ -29,6 +29,10 @@ struct RuntimeOptions {
   /// Wall-clock realism: 1.0 sleeps simulated milliseconds for real,
   /// 0.0 never sleeps (tests). See RemoteSource::set_time_dilation.
   double time_dilation = 1.0;
+  /// Time source every simulated wait is charged through (borrowed; null =
+  /// the process-wide RealClock). Inject a VirtualClock to replay fault /
+  /// latency schedules deterministically — see runtime/clock.h.
+  Clock* clock = nullptr;
   /// Applied to every source; override per source via remotes().Configure.
   NetworkModel default_model;
   RetryPolicy retry;

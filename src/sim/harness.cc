@@ -1,0 +1,207 @@
+#include "sim/harness.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/greedy.h"
+#include "core/idrips.h"
+#include "core/pi.h"
+#include "core/plan_space.h"
+#include "core/streamer.h"
+#include "runtime/retry_policy.h"
+#include "sim/oracle.h"
+#include "sim/properties.h"
+
+namespace planorder::sim {
+
+bool Applicable(AlgoKind algo, const utility::UtilityModel& model) {
+  switch (algo) {
+    case AlgoKind::kGreedy:
+      return model.fully_monotonic();
+    case AlgoKind::kStreamer:
+      return model.diminishing_returns();
+    case AlgoKind::kIDrips:
+    case AlgoKind::kIDripsRebuild:
+    case AlgoKind::kPi:
+      return true;
+  }
+  return false;
+}
+
+StatusOr<std::unique_ptr<core::Orderer>> MakeOrderer(
+    AlgoKind algo, const stats::Workload* workload,
+    utility::UtilityModel* model, bool probe_lower_bounds) {
+  std::vector<core::PlanSpace> spaces = {
+      core::PlanSpace::FullSpace(*workload)};
+  switch (algo) {
+    case AlgoKind::kGreedy: {
+      PLANORDER_ASSIGN_OR_RETURN(
+          std::unique_ptr<core::GreedyOrderer> orderer,
+          core::GreedyOrderer::Create(workload, model, std::move(spaces)));
+      return std::unique_ptr<core::Orderer>(std::move(orderer));
+    }
+    case AlgoKind::kIDrips:
+    case AlgoKind::kIDripsRebuild: {
+      core::IDripsOptions options;
+      options.probe_lower_bounds = probe_lower_bounds;
+      options.persistent_frontier = algo == AlgoKind::kIDrips;
+      PLANORDER_ASSIGN_OR_RETURN(
+          std::unique_ptr<core::IDripsOrderer> orderer,
+          core::IDripsOrderer::Create(workload, model, std::move(spaces),
+                                      options));
+      return std::unique_ptr<core::Orderer>(std::move(orderer));
+    }
+    case AlgoKind::kStreamer: {
+      PLANORDER_ASSIGN_OR_RETURN(
+          std::unique_ptr<core::StreamerOrderer> orderer,
+          core::StreamerOrderer::Create(
+              workload, model, std::move(spaces),
+              core::AbstractionHeuristic::kByCardinality,
+              probe_lower_bounds));
+      return std::unique_ptr<core::Orderer>(std::move(orderer));
+    }
+    case AlgoKind::kPi: {
+      PLANORDER_ASSIGN_OR_RETURN(
+          std::unique_ptr<core::PiOrderer> orderer,
+          core::PiOrderer::Create(workload, model, std::move(spaces)));
+      return std::unique_ptr<core::Orderer>(std::move(orderer));
+    }
+  }
+  return InvalidArgumentError("unknown algorithm kind");
+}
+
+StatusOr<std::vector<core::OrderedPlan>> Drain(core::Orderer& orderer,
+                                               runtime::ThreadPool* pool) {
+  orderer.set_eval_pool(pool);
+  std::vector<core::OrderedPlan> emissions;
+  while (true) {
+    StatusOr<core::OrderedPlan> next = orderer.Next();
+    if (!next.ok()) {
+      if (next.status().code() == StatusCode::kNotFound) break;
+      return next.status();
+    }
+    emissions.push_back(std::move(*next));
+  }
+  return emissions;
+}
+
+namespace {
+
+/// Prefixes a check failure with its full coordinates, so the sweep's
+/// failure line alone pinpoints the (check, measure, algo) cell.
+Status Contextualize(const Status& status, const std::string& check,
+                     utility::MeasureKind kind, AlgoKind algo) {
+  std::ostringstream out;
+  out << "check=" << check << " measure=" << utility::MeasureKindName(kind)
+      << " algo=" << AlgoKindName(algo) << ": " << status.message();
+  return Status(status.code(), out.str());
+}
+
+}  // namespace
+
+Status RunScenario(const Scenario& scenario, const SimOptions& options,
+                   SimReport* report) {
+  SimReport local;
+  PLANORDER_ASSIGN_OR_RETURN(
+      stats::Workload workload,
+      stats::Workload::Generate(scenario.MakeWorkloadOptions()));
+  const core::PlanSpace full = core::PlanSpace::FullSpace(workload);
+
+  for (utility::MeasureKind kind : scenario.measures) {
+    // Instantiation can reject a (measure, workload) pair — e.g. measure (2)
+    // with uniform alpha over a workload whose transmission costs vary.
+    // That is an applicability skip, not a failure.
+    StatusOr<std::unique_ptr<utility::UtilityModel>> model =
+        utility::MakeMeasure(kind, &workload);
+    if (!model.ok()) {
+      ++local.skipped;
+      continue;
+    }
+    for (AlgoKind algo : scenario.algos) {
+      if (!Applicable(algo, **model)) {
+        ++local.skipped;
+        continue;
+      }
+
+      // Serial baseline: every other check is differential against it.
+      PLANORDER_ASSIGN_OR_RETURN(
+          std::unique_ptr<core::Orderer> orderer,
+          MakeOrderer(algo, &workload, model->get(),
+                      scenario.probe_lower_bounds));
+      StatusOr<std::vector<core::OrderedPlan>> serial =
+          Drain(*orderer, /*pool=*/nullptr);
+      if (!serial.ok()) {
+        return Contextualize(serial.status(), "drain", kind, algo);
+      }
+      ++local.checks;
+
+      if (scenario.check_oracle &&
+          full.NumPlans() <= options.max_oracle_plans) {
+        Status status = VerifyExactOrder(workload, kind, {full}, *serial,
+                                         options.tolerance);
+        if (!status.ok()) {
+          return Contextualize(status, "oracle", kind, algo);
+        }
+        ++local.checks;
+      }
+
+      for (int threads : scenario.thread_counts) {
+        Status status = CheckParallelAgreement(
+            workload, kind, algo, scenario.probe_lower_bounds, *serial,
+            orderer->plan_evaluations(), threads);
+        if (!status.ok()) {
+          return Contextualize(status, "parallel", kind, algo);
+        }
+        ++local.checks;
+      }
+
+      if (scenario.check_monotone) {
+        // Exact transform (power-of-two scale): bit-identical sequence.
+        Status status = CheckMonotoneTransform(workload, kind, algo,
+                                               scenario.probe_lower_bounds,
+                                               /*scale=*/4.0, /*shift=*/0.0,
+                                               options.tolerance);
+        if (!status.ok()) {
+          return Contextualize(status, "monotone", kind, algo);
+        }
+        // Inexact shift: utility sequences match after the inverse map.
+        status = CheckMonotoneTransform(workload, kind, algo,
+                                        scenario.probe_lower_bounds,
+                                        /*scale=*/1.0, /*shift=*/8.0,
+                                        options.tolerance);
+        if (!status.ok()) {
+          return Contextualize(status, "monotone-shift", kind, algo);
+        }
+        local.checks += 2;
+      }
+
+      if (scenario.check_relabel) {
+        Status status = CheckRelabelInvariance(
+            workload, kind, algo, scenario.probe_lower_bounds,
+            runtime::CombineHash(scenario.workload_seed,
+                                 uint64_t(scenario.step)),
+            options.tolerance,
+            scenario.check_oracle ? options.max_oracle_plans : 0);
+        if (!status.ok()) {
+          return Contextualize(status, "relabel", kind, algo);
+        }
+        ++local.checks;
+      }
+    }
+  }
+
+  if (scenario.check_runtime) {
+    Status status = CheckRuntimeEquivalence(scenario);
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "check=runtime: " + std::string(status.message()));
+    }
+    ++local.checks;
+  }
+
+  if (report != nullptr) report->Merge(local);
+  return OkStatus();
+}
+
+}  // namespace planorder::sim

@@ -1,0 +1,36 @@
+#ifndef PLANORDER_SIM_ORACLE_H_
+#define PLANORDER_SIM_ORACLE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "core/orderer.h"
+#include "core/plan_space.h"
+#include "stats/workload.h"
+#include "utility/measures.h"
+
+namespace planorder::sim {
+
+/// Brute-force differential oracle for exact-decreasing-conditional-utility
+/// ordering (Definition 2.1). Verification is step-wise along the orderer's
+/// OWN emission sequence rather than against one precomputed reference
+/// order: under a conditional measure, utility ties admit several valid
+/// orders whose later utilities legitimately diverge, so the oracle instead
+/// checks, for every step i, that the emitted plan's utility — recomputed
+/// from scratch by a fresh model instance conditioned on emissions 0..i-1 —
+/// (a) matches the utility the orderer reported, and (b) is a maximum over
+/// every not-yet-emitted plan of the spaces. Finally the emissions must be
+/// exactly a permutation of the enumerated plan space (no duplicates, no
+/// omissions, nothing foreign).
+///
+/// Cost is O(plans^2) concrete evaluations; callers bound the space size
+/// (the sweep keeps full spaces at <= ~80 plans).
+Status VerifyExactOrder(const stats::Workload& workload,
+                        utility::MeasureKind kind,
+                        const std::vector<core::PlanSpace>& spaces,
+                        const std::vector<core::OrderedPlan>& emissions,
+                        double tolerance);
+
+}  // namespace planorder::sim
+
+#endif  // PLANORDER_SIM_ORACLE_H_

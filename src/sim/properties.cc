@@ -1,0 +1,450 @@
+#include "sim/properties.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/pi.h"
+#include "core/plan_space.h"
+#include "exec/mediator.h"
+#include "exec/source_access.h"
+#include "exec/synthetic_domain.h"
+#include "runtime/clock.h"
+#include "runtime/retry_policy.h"
+#include "runtime/source_runtime.h"
+#include "sim/oracle.h"
+
+namespace planorder::sim {
+
+namespace {
+
+std::string PlanToString(const utility::ConcretePlan& plan) {
+  std::string out = "[";
+  for (size_t b = 0; b < plan.size(); ++b) {
+    if (b > 0) out += " ";
+    out += std::to_string(plan[b]);
+  }
+  return out + "]";
+}
+
+/// True when `x` is a positive power of two (the scales whose multiplication
+/// is exact in binary floating point).
+bool IsPowerOfTwo(double x) {
+  if (x <= 0.0) return false;
+  int exponent = 0;
+  return std::frexp(x, &exponent) == 0.5;
+}
+
+StatusOr<std::vector<core::OrderedPlan>> RunAlgo(
+    const stats::Workload& workload, utility::UtilityModel* model,
+    AlgoKind algo, bool probe_lower_bounds) {
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::Orderer> orderer,
+      MakeOrderer(algo, &workload, model, probe_lower_bounds));
+  return Drain(*orderer, /*pool=*/nullptr);
+}
+
+}  // namespace
+
+AffineModel::AffineModel(const utility::UtilityModel* base,
+                         const stats::Workload* workload, double scale,
+                         double shift)
+    : utility::UtilityModel(workload),
+      base_(base),
+      scale_(scale),
+      shift_(shift) {
+  PLANORDER_CHECK(scale > 0.0) << "affine transform must be increasing";
+}
+
+std::string AffineModel::name() const {
+  return "affine(" + base_->name() + ")";
+}
+
+Interval AffineModel::Evaluate(utility::NodeSpan nodes,
+                               const utility::ExecutionContext& ctx) const {
+  const Interval u = base_->Evaluate(nodes, ctx);
+  return Interval(scale_ * u.lo() + shift_, scale_ * u.hi() + shift_);
+}
+
+Status CheckMonotoneTransform(const stats::Workload& workload,
+                              utility::MeasureKind kind, AlgoKind algo,
+                              bool probe_lower_bounds, double scale,
+                              double shift, double tolerance) {
+  PLANORDER_ASSIGN_OR_RETURN(std::unique_ptr<utility::UtilityModel> base,
+                             utility::MakeMeasure(kind, &workload));
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::vector<core::OrderedPlan> reference,
+      RunAlgo(workload, base.get(), algo, probe_lower_bounds));
+
+  PLANORDER_ASSIGN_OR_RETURN(std::unique_ptr<utility::UtilityModel> inner,
+                             utility::MakeMeasure(kind, &workload));
+  AffineModel transformed(inner.get(), &workload, scale, shift);
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::vector<core::OrderedPlan> emissions,
+      RunAlgo(workload, &transformed, algo, probe_lower_bounds));
+
+  if (emissions.size() != reference.size()) {
+    std::ostringstream out;
+    out << "monotone-transform: base run emitted " << reference.size()
+        << " plans, transformed run " << emissions.size();
+    return InternalError(out.str());
+  }
+  // shift != 0 rounds (binary addition is inexact), which can merge
+  // near-ties; only the exact transform pins the whole emission sequence.
+  const bool exact = shift == 0.0 && IsPowerOfTwo(scale);
+  for (size_t i = 0; i < emissions.size(); ++i) {
+    if (exact) {
+      if (emissions[i].plan != reference[i].plan ||
+          emissions[i].utility != scale * reference[i].utility) {
+        std::ostringstream out;
+        out.precision(17);
+        out << "monotone-transform: exact transform u' = " << scale
+            << " * u diverged at step " << i << ": base plan "
+            << PlanToString(reference[i].plan) << " u="
+            << reference[i].utility << ", transformed plan "
+            << PlanToString(emissions[i].plan) << " u'="
+            << emissions[i].utility;
+        return InternalError(out.str());
+      }
+      continue;
+    }
+    const double mapped = (emissions[i].utility - shift) / scale;
+    if (std::abs(mapped - reference[i].utility) >
+        tolerance * std::max(1.0, std::abs(reference[i].utility))) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "monotone-transform: u' = " << scale << " * u + " << shift
+          << " diverged at step " << i << ": base u="
+          << reference[i].utility << ", transformed maps back to " << mapped;
+      return InternalError(out.str());
+    }
+  }
+  return OkStatus();
+}
+
+Status CheckRelabelInvariance(const stats::Workload& workload,
+                              utility::MeasureKind kind, AlgoKind algo,
+                              bool probe_lower_bounds, uint64_t perm_seed,
+                              double tolerance, uint64_t max_oracle_plans) {
+  PLANORDER_ASSIGN_OR_RETURN(std::unique_ptr<utility::UtilityModel> base,
+                             utility::MakeMeasure(kind, &workload));
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::vector<core::OrderedPlan> reference,
+      RunAlgo(workload, base.get(), algo, probe_lower_bounds));
+
+  // Seeded Fisher-Yates per bucket: permuted[b][i] = original source index
+  // now sitting at position i.
+  Rng rng(runtime::MixHash(perm_seed));
+  std::vector<std::vector<int>> perm(workload.num_buckets());
+  std::vector<std::vector<stats::SourceStats>> buckets(workload.num_buckets());
+  std::vector<double> domain_sizes(workload.num_buckets());
+  for (int b = 0; b < workload.num_buckets(); ++b) {
+    perm[b].resize(workload.bucket_size(b));
+    for (int i = 0; i < workload.bucket_size(b); ++i) perm[b][i] = i;
+    for (size_t i = perm[b].size(); i > 1; --i) {
+      std::swap(perm[b][i - 1], perm[b][rng.UniformInt(0, int64_t(i) - 1)]);
+    }
+    for (int i = 0; i < workload.bucket_size(b); ++i) {
+      buckets[b].push_back(workload.source(b, perm[b][i]));
+    }
+    domain_sizes[b] = workload.domain_size(b);
+  }
+  PLANORDER_ASSIGN_OR_RETURN(
+      stats::Workload relabeled,
+      stats::Workload::FromParts(std::move(buckets), workload.region_weights(),
+                                 workload.access_overhead(),
+                                 std::move(domain_sizes)));
+
+  PLANORDER_ASSIGN_OR_RETURN(std::unique_ptr<utility::UtilityModel> model,
+                             utility::MakeMeasure(kind, &relabeled));
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::vector<core::OrderedPlan> emissions,
+      RunAlgo(relabeled, model.get(), algo, probe_lower_bounds));
+
+  if (emissions.size() != reference.size()) {
+    std::ostringstream out;
+    out << "relabel: base run emitted " << reference.size()
+        << " plans, relabeled run " << emissions.size();
+    return InternalError(out.str());
+  }
+  for (size_t i = 0; i < emissions.size(); ++i) {
+    if (std::abs(emissions[i].utility - reference[i].utility) >
+        tolerance * std::max(1.0, std::abs(reference[i].utility))) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "relabel: utility sequence diverged at step " << i << ": base "
+          << reference[i].utility << " (plan "
+          << PlanToString(reference[i].plan) << "), relabeled "
+          << emissions[i].utility << " (plan "
+          << PlanToString(emissions[i].plan) << " in the permuted basis)";
+      return InternalError(out.str());
+    }
+  }
+  const core::PlanSpace full = core::PlanSpace::FullSpace(relabeled);
+  if (full.NumPlans() <= max_oracle_plans) {
+    Status oracle =
+        VerifyExactOrder(relabeled, kind, {full}, emissions, tolerance);
+    if (!oracle.ok()) {
+      return InternalError("relabel: permuted-basis run failed the oracle: " +
+                           std::string(oracle.message()));
+    }
+  }
+  return OkStatus();
+}
+
+Status CheckParallelAgreement(const stats::Workload& workload,
+                              utility::MeasureKind kind, AlgoKind algo,
+                              bool probe_lower_bounds,
+                              const std::vector<core::OrderedPlan>& serial,
+                              int64_t serial_evaluations, int threads) {
+  PLANORDER_ASSIGN_OR_RETURN(std::unique_ptr<utility::UtilityModel> model,
+                             utility::MakeMeasure(kind, &workload));
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::Orderer> orderer,
+      MakeOrderer(algo, &workload, model.get(), probe_lower_bounds));
+  runtime::ThreadPool pool(threads);
+  PLANORDER_ASSIGN_OR_RETURN(std::vector<core::OrderedPlan> emissions,
+                             Drain(*orderer, &pool));
+
+  if (emissions.size() != serial.size()) {
+    std::ostringstream out;
+    out << "parallel: " << threads << "-thread run emitted "
+        << emissions.size() << " plans, serial run " << serial.size();
+    return InternalError(out.str());
+  }
+  for (size_t i = 0; i < emissions.size(); ++i) {
+    if (emissions[i].plan != serial[i].plan ||
+        emissions[i].utility != serial[i].utility) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "parallel: " << threads << "-thread run diverged from serial at "
+          << "step " << i << ": serial plan " << PlanToString(serial[i].plan)
+          << " u=" << serial[i].utility << ", parallel plan "
+          << PlanToString(emissions[i].plan) << " u="
+          << emissions[i].utility << " (contract: byte-identical)";
+      return InternalError(out.str());
+    }
+  }
+  if (orderer->plan_evaluations() != serial_evaluations) {
+    std::ostringstream out;
+    out << "parallel: " << threads << "-thread run performed "
+        << orderer->plan_evaluations() << " plan evaluations, serial run "
+        << serial_evaluations << " (contract: identical work)";
+    return InternalError(out.str());
+  }
+  return OkStatus();
+}
+
+namespace {
+
+Status CompareMediatorSteps(const exec::MediatorResult& reference,
+                            const exec::MediatorResult& run,
+                            const std::string& label) {
+  if (run.steps.size() != reference.steps.size()) {
+    std::ostringstream out;
+    out << label << ": " << run.steps.size() << " steps vs "
+        << reference.steps.size() << " in the serial reference";
+    return InternalError(out.str());
+  }
+  for (size_t i = 0; i < run.steps.size(); ++i) {
+    const exec::MediatorStep& a = reference.steps[i];
+    const exec::MediatorStep& b = run.steps[i];
+    if (b.failed) {
+      std::ostringstream out;
+      out << label << ": step " << i << " lost plan "
+          << PlanToString(b.plan) << " to source failure (" +
+                 b.failure_reason + ") despite transient-only faults and "
+          << "ample retries";
+      return InternalError(out.str());
+    }
+    if (a.plan != b.plan || a.sound != b.sound ||
+        a.executable != b.executable ||
+        a.answers_from_plan != b.answers_from_plan ||
+        a.new_answers != b.new_answers ||
+        a.total_answers != b.total_answers) {
+      std::ostringstream out;
+      out << label << ": step " << i << " diverged from the serial "
+          << "reference: serial plan " << PlanToString(a.plan) << " ("
+          << a.answers_from_plan << " answers, " << a.new_answers
+          << " new, " << a.total_answers << " total), runtime plan "
+          << PlanToString(b.plan) << " (" << b.answers_from_plan
+          << " answers, " << b.new_answers << " new, " << b.total_answers
+          << " total)";
+      return InternalError(out.str());
+    }
+  }
+  if (run.total_answers != reference.total_answers) {
+    std::ostringstream out;
+    out << label << ": " << run.total_answers << " distinct answers vs "
+        << reference.total_answers << " in the serial reference";
+    return InternalError(out.str());
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status CheckRuntimeEquivalence(const Scenario& scenario) {
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<exec::SyntheticDomain> domain,
+      exec::BuildSyntheticDomain(scenario.MakeWorkloadOptions(),
+                                 scenario.num_answers));
+
+  exec::SourceRegistry registry;
+  for (datalog::SourceId id = 0; id < domain->catalog.num_sources(); ++id) {
+    const std::string& name = domain->catalog.source(id).name;
+    PLANORDER_ASSIGN_OR_RETURN(exec::AccessibleSource * source,
+                               registry.Register(name, 2));
+    for (const auto& tuple : domain->source_facts.TuplesFor(name)) {
+      PLANORDER_RETURN_IF_ERROR(source->Add(tuple));
+    }
+  }
+
+  exec::Mediator mediator(&domain->catalog, domain->query,
+                          &domain->source_facts, domain->source_ids);
+  const int max_plans =
+      int(std::min<uint64_t>(scenario.NumPlans(), uint64_t{12}));
+
+  auto run = [&](exec::PlanExecutor* executor)
+      -> StatusOr<exec::MediatorResult> {
+    PLANORDER_ASSIGN_OR_RETURN(
+        std::unique_ptr<utility::UtilityModel> model,
+        utility::MakeMeasure(utility::MeasureKind::kCoverage,
+                             &domain->workload));
+    PLANORDER_ASSIGN_OR_RETURN(
+        std::unique_ptr<core::PiOrderer> orderer,
+        core::PiOrderer::Create(&domain->workload, model.get(),
+                                {core::PlanSpace::FullSpace(domain->workload)}));
+    exec::Mediator::RunLimits limits;
+    limits.max_plans = max_plans;
+    if (executor != nullptr) {
+      return mediator.Run(*orderer, limits, *executor);
+    }
+    return mediator.Run(*orderer, max_plans, &registry);
+  };
+
+  // Serial reference: the classic dependent-join mediator, no simulated
+  // network at all.
+  PLANORDER_ASSIGN_OR_RETURN(exec::MediatorResult reference, run(nullptr));
+
+  auto runtime_run = [&](int threads, int max_partitions, double* elapsed_ms)
+      -> StatusOr<exec::MediatorResult> {
+    runtime::VirtualClock clock;
+    runtime::RuntimeOptions options;
+    options.num_threads = threads;
+    options.max_partitions_per_call = max_partitions;
+    options.seed = scenario.runtime_seed;
+    options.time_dilation = 0.0;
+    options.clock = &clock;
+    options.default_model = scenario.MakeNetworkModel();
+    options.retry.max_attempts = scenario.retry_max_attempts;
+    runtime::SourceRuntime runtime(&registry, options);
+    PLANORDER_ASSIGN_OR_RETURN(exec::MediatorResult result, run(&runtime));
+    if (elapsed_ms != nullptr) *elapsed_ms = clock.NowMs();
+    return result;
+  };
+
+  // (a) Answer equivalence: at every thread count, with the runtime's
+  // natural partitioning (one partition per pool worker), the step sequence
+  // and answers must match the serial mediator exactly — transient faults
+  // are absorbed by retries, concurrency changes nothing observable.
+  std::vector<int> thread_counts = {1};
+  thread_counts.insert(thread_counts.end(), scenario.thread_counts.begin(),
+                       scenario.thread_counts.end());
+  for (int threads : thread_counts) {
+    PLANORDER_ASSIGN_OR_RETURN(
+        exec::MediatorResult result,
+        runtime_run(threads, /*max_partitions=*/0, /*elapsed_ms=*/nullptr));
+    PLANORDER_RETURN_IF_ERROR(CompareMediatorSteps(
+        reference, result,
+        "runtime(threads=" + std::to_string(threads) + ")"));
+  }
+
+  // (b) Payload determinism: with single-partition calls the batch payloads
+  // are identical at any thread count, so every hashed latency/fault draw —
+  // and with them the accounting and the commutatively-accumulated virtual
+  // elapsed time — must be bit-equal across thread counts. (Under natural
+  // partitioning the payloads themselves vary with the pool size, so this
+  // comparison is only meaningful with the partitioning pinned.)
+  double base_elapsed_ms = 0.0;
+  PLANORDER_ASSIGN_OR_RETURN(
+      exec::MediatorResult base,
+      runtime_run(/*threads=*/1, /*max_partitions=*/1, &base_elapsed_ms));
+  PLANORDER_RETURN_IF_ERROR(
+      CompareMediatorSteps(reference, base, "runtime(1 thread, 1 partition)"));
+  for (int threads : scenario.thread_counts) {
+    double elapsed_ms = 0.0;
+    PLANORDER_ASSIGN_OR_RETURN(
+        exec::MediatorResult result,
+        runtime_run(threads, /*max_partitions=*/1, &elapsed_ms));
+    if (elapsed_ms != base_elapsed_ms) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "runtime: virtual elapsed time depends on the thread count "
+          << "despite identical call payloads: 1 thread -> "
+          << base_elapsed_ms << " ms, " << threads << " threads -> "
+          << elapsed_ms << " ms";
+      return InternalError(out.str());
+    }
+    const exec::RuntimeAccounting& acct = result.runtime;
+    if (acct.retries != base.runtime.retries ||
+        acct.transient_failures != base.runtime.transient_failures ||
+        acct.hedged_calls != base.runtime.hedged_calls ||
+        acct.latency_ms_total != base.runtime.latency_ms_total) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "runtime: fault schedule depends on the thread count despite "
+          << "identical call payloads: 1 thread -> (retries="
+          << base.runtime.retries << " transient="
+          << base.runtime.transient_failures << " hedged="
+          << base.runtime.hedged_calls << " latency="
+          << base.runtime.latency_ms_total << "), " << threads
+          << " threads -> (retries=" << acct.retries << " transient="
+          << acct.transient_failures << " hedged=" << acct.hedged_calls
+          << " latency=" << acct.latency_ms_total << ")";
+      return InternalError(out.str());
+    }
+  }
+
+  // (c) Replay determinism: the same seed at the same thread count, with
+  // genuinely concurrent partitions, reproduces the run bit-identically —
+  // accounting, elapsed virtual time and all.
+  if (!scenario.thread_counts.empty()) {
+    const int threads = scenario.thread_counts.front();
+    double first_ms = 0.0;
+    double second_ms = 0.0;
+    PLANORDER_ASSIGN_OR_RETURN(
+        exec::MediatorResult first,
+        runtime_run(threads, /*max_partitions=*/0, &first_ms));
+    PLANORDER_ASSIGN_OR_RETURN(
+        exec::MediatorResult second,
+        runtime_run(threads, /*max_partitions=*/0, &second_ms));
+    PLANORDER_RETURN_IF_ERROR(CompareMediatorSteps(
+        first, second,
+        "runtime replay(threads=" + std::to_string(threads) + ")"));
+    if (first_ms != second_ms ||
+        first.runtime.retries != second.runtime.retries ||
+        first.runtime.transient_failures !=
+            second.runtime.transient_failures ||
+        first.runtime.hedged_calls != second.runtime.hedged_calls ||
+        first.runtime.latency_ms_total != second.runtime.latency_ms_total) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "runtime: same seed, same thread count (" << threads
+          << ") did not replay bit-identically: elapsed " << first_ms
+          << " vs " << second_ms << " ms, retries " << first.runtime.retries
+          << " vs " << second.runtime.retries << ", transient "
+          << first.runtime.transient_failures << " vs "
+          << second.runtime.transient_failures << ", latency "
+          << first.runtime.latency_ms_total << " vs "
+          << second.runtime.latency_ms_total;
+      return InternalError(out.str());
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace planorder::sim

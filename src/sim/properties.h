@@ -1,0 +1,107 @@
+#ifndef PLANORDER_SIM_PROPERTIES_H_
+#define PLANORDER_SIM_PROPERTIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+#include "sim/harness.h"
+#include "sim/scenario.h"
+#include "stats/workload.h"
+#include "utility/measures.h"
+#include "utility/model.h"
+
+namespace planorder::sim {
+
+/// Utility-model decorator applying u' = scale * u + shift (scale > 0, a
+/// strictly increasing affine map). Every structural predicate (monotonicity,
+/// diminishing returns, independence, group independence, probe choice)
+/// forwards to the wrapped model: an affine map changes no comparison between
+/// utilities, so a correct orderer must emit the same order. With shift == 0
+/// and scale a power of two the transform is floating-point-exact and the
+/// emission sequence must match bit-for-bit; otherwise rounding can merge
+/// near-ties and only the utility sequences are comparable.
+class AffineModel : public utility::UtilityModel {
+ public:
+  /// `base` must outlive the decorator and be built over `workload`.
+  AffineModel(const utility::UtilityModel* base,
+              const stats::Workload* workload, double scale, double shift);
+
+  std::string name() const override;
+  Interval Evaluate(utility::NodeSpan nodes,
+                    const utility::ExecutionContext& ctx) const override;
+  bool fully_monotonic() const override { return base_->fully_monotonic(); }
+  double MonotoneScore(int bucket, int source) const override {
+    return base_->MonotoneScore(bucket, source);
+  }
+  bool diminishing_returns() const override {
+    return base_->diminishing_returns();
+  }
+  bool fully_independent() const override {
+    return base_->fully_independent();
+  }
+  bool Independent(const utility::ConcretePlan& a,
+                   const utility::ConcretePlan& b) const override {
+    return base_->Independent(a, b);
+  }
+  bool GroupIndependentOf(utility::NodeSpan nodes,
+                          const utility::ConcretePlan& plan) const override {
+    return base_->GroupIndependentOf(nodes, plan);
+  }
+  std::optional<utility::ConcretePlan> FindIndependentGroupPlan(
+      utility::NodeSpan nodes,
+      const std::vector<const utility::ConcretePlan*>& others) const override {
+    return base_->FindIndependentGroupPlan(nodes, others);
+  }
+  int ProbeMember(const stats::StatSummary& summary) const override {
+    return base_->ProbeMember(summary);
+  }
+
+ private:
+  const utility::UtilityModel* base_;
+  double scale_;
+  double shift_;
+};
+
+/// Metamorphic property: ordering under scale * u + shift. When the
+/// transform is exact (shift == 0, scale a positive power of two) the plan
+/// sequence must be identical and utilities must satisfy u' == scale * u
+/// exactly; otherwise utilities must match within `tolerance` after the
+/// inverse transform.
+Status CheckMonotoneTransform(const stats::Workload& workload,
+                              utility::MeasureKind kind, AlgoKind algo,
+                              bool probe_lower_bounds, double scale,
+                              double shift, double tolerance);
+
+/// Metamorphic property: relabeling invariance. Permutes the sources inside
+/// every bucket (seeded Fisher-Yates), reorders the statistics via
+/// Workload::FromParts, and requires (a) the permuted run's emission-utility
+/// sequence to match the base run's within `tolerance` (tie-breaks are
+/// index-dependent, so plan identities may differ at exact ties), and (b)
+/// the permuted emissions to pass the exhaustive-order oracle in their own
+/// basis when the space has at most `max_oracle_plans` plans.
+Status CheckRelabelInvariance(const stats::Workload& workload,
+                              utility::MeasureKind kind, AlgoKind algo,
+                              bool probe_lower_bounds, uint64_t perm_seed,
+                              double tolerance, uint64_t max_oracle_plans);
+
+/// Determinism contract: a run with a shared evaluation pool of `threads`
+/// workers must reproduce the serial emissions byte-identically — same
+/// plans, bit-equal utilities, equal plan_evaluations().
+Status CheckParallelAgreement(const stats::Workload& workload,
+                              utility::MeasureKind kind, AlgoKind algo,
+                              bool probe_lower_bounds,
+                              const std::vector<core::OrderedPlan>& serial,
+                              int64_t serial_evaluations, int threads);
+
+/// End-to-end property: mediating through the resilient concurrent runtime
+/// under the scenario's fault/latency schedule (every fault transient, ample
+/// retries) must yield exactly the serial mediator's step sequence and
+/// answers at every thread count — and, on a virtual clock, the same total
+/// simulated elapsed time regardless of thread count (atomic time
+/// accumulation commutes).
+Status CheckRuntimeEquivalence(const Scenario& scenario);
+
+}  // namespace planorder::sim
+
+#endif  // PLANORDER_SIM_PROPERTIES_H_

@@ -1,0 +1,299 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/rng.h"
+#include "runtime/retry_policy.h"
+
+namespace planorder::sim {
+
+namespace {
+
+using utility::MeasureKind;
+
+/// Deterministic Fisher-Yates (std::shuffle is implementation-defined, which
+/// would break cross-platform replay).
+template <typename T>
+void Shuffle(std::vector<T>& items, Rng& rng) {
+  for (size_t i = items.size(); i > 1; --i) {
+    std::swap(items[i - 1], items[rng.UniformInt(0, int64_t(i) - 1)]);
+  }
+}
+
+std::string JoinInts(const std::vector<int>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AlgoKindName(AlgoKind kind) {
+  switch (kind) {
+    case AlgoKind::kGreedy:
+      return "greedy";
+    case AlgoKind::kIDrips:
+      return "idrips";
+    case AlgoKind::kIDripsRebuild:
+      return "idrips-rebuild";
+    case AlgoKind::kStreamer:
+      return "streamer";
+    case AlgoKind::kPi:
+      return "pi";
+  }
+  return "unknown";
+}
+
+StatusOr<AlgoKind> AlgoKindFromName(const std::string& name) {
+  for (AlgoKind kind : AllAlgoKinds()) {
+    if (AlgoKindName(kind) == name) return kind;
+  }
+  return InvalidArgumentError("unknown algorithm '" + name + "'");
+}
+
+std::vector<AlgoKind> AllAlgoKinds() {
+  return {AlgoKind::kGreedy, AlgoKind::kIDrips, AlgoKind::kIDripsRebuild,
+          AlgoKind::kStreamer, AlgoKind::kPi};
+}
+
+std::vector<MeasureKind> AllMeasureKinds() {
+  return {MeasureKind::kAdditive,       MeasureKind::kCost2UniformAlpha,
+          MeasureKind::kCost2,          MeasureKind::kFailureNoCache,
+          MeasureKind::kFailureCache,   MeasureKind::kMonetary,
+          MeasureKind::kMonetaryCache,  MeasureKind::kCoverage};
+}
+
+namespace {
+
+StatusOr<MeasureKind> MeasureKindFromName(const std::string& name) {
+  for (MeasureKind kind : AllMeasureKinds()) {
+    if (utility::MeasureKindName(kind) == name) return kind;
+  }
+  return InvalidArgumentError("unknown measure '" + name + "'");
+}
+
+}  // namespace
+
+stats::WorkloadOptions Scenario::MakeWorkloadOptions() const {
+  stats::WorkloadOptions options;
+  options.query_length = query_length;
+  options.bucket_size = bucket_size;
+  options.overlap_rate = overlap_rate;
+  options.regions_per_bucket = regions_per_bucket;
+  if (uniform_alpha) {
+    options.alpha_min = 0.3;
+    options.alpha_max = 0.3;
+  }
+  options.seed = workload_seed;
+  return options;
+}
+
+runtime::NetworkModel Scenario::MakeNetworkModel() const {
+  runtime::NetworkModel model;
+  model.base_latency_ms = base_latency_ms;
+  model.per_binding_latency_ms = per_binding_latency_ms;
+  model.per_tuple_latency_ms = per_tuple_latency_ms;
+  model.latency_jitter = latency_jitter;
+  model.transient_failure_rate = transient_failure_rate;
+  model.hedge_delay_ms = hedge_delay_ms;
+  return model;
+}
+
+uint64_t Scenario::NumPlans() const {
+  uint64_t plans = 1;
+  for (int b = 0; b < query_length; ++b) plans *= uint64_t(bucket_size);
+  return plans;
+}
+
+std::string Scenario::Summary() const {
+  std::ostringstream out;
+  out << "seed=" << base_seed << " step=" << step << " ql=" << query_length
+      << " bs=" << bucket_size << " plans=" << NumPlans()
+      << " measures=" << measures.size() << " algos=" << algos.size()
+      << " threads=" << JoinInts(thread_counts)
+      << " probes=" << (probe_lower_bounds ? 1 : 0)
+      << " runtime=" << (check_runtime ? 1 : 0);
+  return out.str();
+}
+
+std::string Scenario::Serialize() const {
+  std::ostringstream out;
+  out << "base_seed=" << base_seed << " step=" << step;
+  out << " query_length=" << query_length << " bucket_size=" << bucket_size;
+  out << " overlap_rate=" << overlap_rate
+      << " regions_per_bucket=" << regions_per_bucket;
+  out << " uniform_alpha=" << (uniform_alpha ? 1 : 0)
+      << " workload_seed=" << workload_seed;
+  out << " measures=";
+  for (size_t i = 0; i < measures.size(); ++i) {
+    if (i > 0) out << ",";
+    out << utility::MeasureKindName(measures[i]);
+  }
+  out << " algos=";
+  for (size_t i = 0; i < algos.size(); ++i) {
+    if (i > 0) out << ",";
+    out << AlgoKindName(algos[i]);
+  }
+  out << " thread_counts=" << JoinInts(thread_counts);
+  out << " probe_lower_bounds=" << (probe_lower_bounds ? 1 : 0);
+  out << " check_oracle=" << (check_oracle ? 1 : 0)
+      << " check_monotone=" << (check_monotone ? 1 : 0)
+      << " check_relabel=" << (check_relabel ? 1 : 0)
+      << " check_runtime=" << (check_runtime ? 1 : 0);
+  out << " num_answers=" << num_answers << " runtime_seed=" << runtime_seed;
+  out << " base_latency_ms=" << base_latency_ms
+      << " per_binding_latency_ms=" << per_binding_latency_ms
+      << " per_tuple_latency_ms=" << per_tuple_latency_ms
+      << " latency_jitter=" << latency_jitter
+      << " transient_failure_rate=" << transient_failure_rate
+      << " hedge_delay_ms=" << hedge_delay_ms
+      << " retry_max_attempts=" << retry_max_attempts;
+  return out.str();
+}
+
+StatusOr<Scenario> Scenario::Deserialize(const std::string& line) {
+  Scenario s;
+  s.measures.clear();
+  s.algos.clear();
+  s.thread_counts.clear();
+  std::istringstream in(line);
+  std::string token;
+  bool saw_any_token = false;
+  auto split_list = [](const std::string& csv) {
+    std::vector<std::string> items;
+    std::string item;
+    std::istringstream stream(csv);
+    while (std::getline(stream, item, ',')) {
+      if (!item.empty()) items.push_back(item);
+    }
+    return items;
+  };
+  while (in >> token) {
+    saw_any_token = true;
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("malformed scenario token '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "base_seed") {
+        s.base_seed = std::stoull(value);
+      } else if (key == "step") {
+        s.step = std::stoi(value);
+      } else if (key == "query_length") {
+        s.query_length = std::stoi(value);
+      } else if (key == "bucket_size") {
+        s.bucket_size = std::stoi(value);
+      } else if (key == "overlap_rate") {
+        s.overlap_rate = std::stod(value);
+      } else if (key == "regions_per_bucket") {
+        s.regions_per_bucket = std::stoi(value);
+      } else if (key == "uniform_alpha") {
+        s.uniform_alpha = value != "0";
+      } else if (key == "workload_seed") {
+        s.workload_seed = std::stoull(value);
+      } else if (key == "measures") {
+        for (const std::string& name : split_list(value)) {
+          PLANORDER_ASSIGN_OR_RETURN(MeasureKind kind,
+                                     MeasureKindFromName(name));
+          s.measures.push_back(kind);
+        }
+      } else if (key == "algos") {
+        for (const std::string& name : split_list(value)) {
+          PLANORDER_ASSIGN_OR_RETURN(AlgoKind kind, AlgoKindFromName(name));
+          s.algos.push_back(kind);
+        }
+      } else if (key == "thread_counts") {
+        for (const std::string& item : split_list(value)) {
+          s.thread_counts.push_back(std::stoi(item));
+        }
+      } else if (key == "probe_lower_bounds") {
+        s.probe_lower_bounds = value != "0";
+      } else if (key == "check_oracle") {
+        s.check_oracle = value != "0";
+      } else if (key == "check_monotone") {
+        s.check_monotone = value != "0";
+      } else if (key == "check_relabel") {
+        s.check_relabel = value != "0";
+      } else if (key == "check_runtime") {
+        s.check_runtime = value != "0";
+      } else if (key == "num_answers") {
+        s.num_answers = std::stoi(value);
+      } else if (key == "runtime_seed") {
+        s.runtime_seed = std::stoull(value);
+      } else if (key == "base_latency_ms") {
+        s.base_latency_ms = std::stod(value);
+      } else if (key == "per_binding_latency_ms") {
+        s.per_binding_latency_ms = std::stod(value);
+      } else if (key == "per_tuple_latency_ms") {
+        s.per_tuple_latency_ms = std::stod(value);
+      } else if (key == "latency_jitter") {
+        s.latency_jitter = std::stod(value);
+      } else if (key == "transient_failure_rate") {
+        s.transient_failure_rate = std::stod(value);
+      } else if (key == "hedge_delay_ms") {
+        s.hedge_delay_ms = std::stod(value);
+      } else if (key == "retry_max_attempts") {
+        s.retry_max_attempts = std::stoi(value);
+      } else {
+        return InvalidArgumentError("unknown scenario key '" + key + "'");
+      }
+    } catch (const std::exception&) {
+      return InvalidArgumentError("bad value for scenario key '" + key +
+                                  "': '" + value + "'");
+    }
+  }
+  if (!saw_any_token) {
+    return InvalidArgumentError("empty scenario line");
+  }
+  if (s.query_length < 1 || s.bucket_size < 1) {
+    return InvalidArgumentError("scenario needs query_length/bucket_size >= 1");
+  }
+  return s;
+}
+
+Scenario MakeScenario(uint64_t base_seed, int step) {
+  // Scenario i's stream is seeded from (base_seed, i) alone: replaying one
+  // step never requires regenerating its predecessors.
+  Rng rng(runtime::CombineHash(runtime::MixHash(base_seed), uint64_t(step)));
+  Scenario s;
+  s.base_seed = base_seed;
+  s.step = step;
+
+  s.query_length = int(rng.UniformInt(1, 4));
+  s.bucket_size = int(rng.UniformInt(2, 5));
+  // Keep the full space small enough for the O(plans^2) exhaustive oracle.
+  while (s.NumPlans() > 80 && s.bucket_size > 2) --s.bucket_size;
+  s.overlap_rate = rng.UniformReal(0.1, 0.9);
+  s.regions_per_bucket = int(rng.UniformInt(4, 16));
+  s.uniform_alpha = rng.Bernoulli(0.3);
+  s.workload_seed = rng.engine()();
+
+  // Every measure and every algorithm, every scenario: inapplicable pairs
+  // (e.g. Greedy under a non-monotonic measure) are skipped by the harness,
+  // and shrinking narrows the cross product once a failure is in hand.
+  s.measures = AllMeasureKinds();
+  s.algos = AllAlgoKinds();
+  s.thread_counts = {2, int(rng.UniformInt(3, 8))};
+  Shuffle(s.thread_counts, rng);
+  s.probe_lower_bounds = rng.Bernoulli(0.5);
+
+  s.check_runtime = rng.Bernoulli(0.5);
+  s.num_answers = int(rng.UniformInt(40, 160));
+  s.runtime_seed = rng.engine()();
+  s.base_latency_ms = rng.UniformReal(0.0, 5.0);
+  s.per_binding_latency_ms = rng.UniformReal(0.0, 1.0);
+  s.per_tuple_latency_ms = rng.UniformReal(0.0, 0.2);
+  s.latency_jitter = rng.UniformReal(0.0, 0.9);
+  s.transient_failure_rate = rng.UniformReal(0.0, 0.35);
+  s.hedge_delay_ms = rng.Bernoulli(0.3) ? rng.UniformReal(1.0, 10.0) : 0.0;
+  s.retry_max_attempts = 64;
+  return s;
+}
+
+}  // namespace planorder::sim

@@ -1,0 +1,103 @@
+#ifndef PLANORDER_SIM_SCENARIO_H_
+#define PLANORDER_SIM_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "runtime/remote_source.h"
+#include "stats/workload.h"
+#include "utility/measures.h"
+
+namespace planorder::sim {
+
+/// The ordering algorithms under differential test.
+enum class AlgoKind {
+  kGreedy,         // Section 4; fully monotonic measures only
+  kIDrips,         // Section 5.2, persistent frontier (DESIGN.md §6)
+  kIDripsRebuild,  // Section 5.2, rebuild-from-roots mode
+  kStreamer,       // Section 5.2 Figure 5; diminishing-returns measures only
+  kPi,             // PI baseline (brute force + independence filter)
+};
+
+/// Stable name ("greedy", "idrips", ...), and its inverse.
+std::string AlgoKindName(AlgoKind kind);
+StatusOr<AlgoKind> AlgoKindFromName(const std::string& name);
+
+/// All algorithm kinds, in enum order.
+std::vector<AlgoKind> AllAlgoKinds();
+/// All measure kinds, in enum order.
+std::vector<utility::MeasureKind> AllMeasureKinds();
+
+/// One fully specified simulation scenario: a synthetic LAV catalog +
+/// workload, the utility measures and ordering algorithms to cross-check,
+/// the evaluation thread counts, and a runtime fault/latency schedule. Every
+/// field is derived deterministically from (base_seed, step) by MakeScenario,
+/// so a failure report of `seed:step` replays bit-identically; the shrinker
+/// then mutates fields directly, which is why the struct is flat data with a
+/// text serialization rather than an opaque seed.
+struct Scenario {
+  /// Provenance: the sweep that produced this scenario (replay key).
+  uint64_t base_seed = 1;
+  int step = 0;
+
+  // --- Workload (the LAV catalog + statistics drawn for this scenario) ---
+  int query_length = 2;
+  int bucket_size = 3;
+  double overlap_rate = 0.3;
+  int regions_per_bucket = 8;
+  /// When set, every source shares one transmission cost, which makes cost
+  /// measure (2) fully monotonic (kCost2UniformAlpha becomes applicable).
+  bool uniform_alpha = false;
+  uint64_t workload_seed = 1;
+
+  // --- What to cross-check ---
+  std::vector<utility::MeasureKind> measures;
+  std::vector<AlgoKind> algos;
+  /// Evaluation-pool sizes whose emissions must be byte-identical to the
+  /// serial run. (1 is implied: the serial run is always the baseline.)
+  std::vector<int> thread_counts;
+  bool probe_lower_bounds = false;
+
+  // --- Property toggles (the shrinker turns these off one by one) ---
+  bool check_oracle = true;
+  bool check_monotone = true;
+  bool check_relabel = true;
+  bool check_runtime = true;
+
+  // --- Runtime fault/latency schedule (check_runtime) ---
+  int num_answers = 100;
+  uint64_t runtime_seed = 1;
+  double base_latency_ms = 0.0;
+  double per_binding_latency_ms = 0.0;
+  double per_tuple_latency_ms = 0.0;
+  double latency_jitter = 0.0;
+  double transient_failure_rate = 0.0;
+  double hedge_delay_ms = 0.0;
+  int retry_max_attempts = 64;
+
+  stats::WorkloadOptions MakeWorkloadOptions() const;
+  runtime::NetworkModel MakeNetworkModel() const;
+
+  /// Plans in the full space: bucket_size ^ query_length.
+  uint64_t NumPlans() const;
+
+  /// Short human-readable summary (one line).
+  std::string Summary() const;
+
+  /// One-line key=value serialization, Deserialize's inverse. This is the
+  /// replay-artifact format: a shrunk scenario no longer matches its seed
+  /// derivation, so failures are persisted in this explicit form.
+  std::string Serialize() const;
+  static StatusOr<Scenario> Deserialize(const std::string& line);
+};
+
+/// Derives scenario `step` of the sweep under `base_seed`. Pure function of
+/// its arguments: scenario i never depends on scenarios 0..i-1, so any step
+/// can be replayed in isolation (`planorder_sim --replay=<seed>:<step>`).
+Scenario MakeScenario(uint64_t base_seed, int step);
+
+}  // namespace planorder::sim
+
+#endif  // PLANORDER_SIM_SCENARIO_H_

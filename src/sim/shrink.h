@@ -1,0 +1,47 @@
+#ifndef PLANORDER_SIM_SHRINK_H_
+#define PLANORDER_SIM_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+#include "sim/harness.h"
+#include "sim/scenario.h"
+
+namespace planorder::sim {
+
+/// Outcome of minimizing a failing scenario.
+struct ShrinkResult {
+  /// The smallest still-failing scenario found (== the input when nothing
+  /// could be removed).
+  Scenario scenario;
+  /// The minimized scenario's failure message.
+  std::string failure;
+  /// Candidate scenarios re-run during the search, and full passes made.
+  int attempts = 0;
+  int rounds = 0;
+};
+
+/// Greedy delta debugging over the scenario's fields: repeatedly tries
+/// smaller variants (shorter query, smaller buckets, a single measure, a
+/// single algorithm, one thread count, properties switched off, a quiet
+/// network, fewer answers/regions) and keeps any variant that still fails,
+/// until a full pass changes nothing. `failing` must fail under `options`
+/// (checked); the result is the fixpoint, typically a one-measure,
+/// one-algorithm scenario of a handful of sources.
+ShrinkResult Shrink(const Scenario& failing, const SimOptions& options);
+
+/// The check a candidate scenario is re-run against: non-OK means "still
+/// fails" and the candidate is adopted. Shrink() uses RunScenario.
+using ScenarioPredicate =
+    std::function<Status(const Scenario&, const SimOptions&)>;
+
+/// Shrink against an arbitrary predicate. This is what makes the search
+/// itself testable: a synthetic predicate (e.g. "fails iff bucket 2 uses
+/// more than one thread") pins down exactly which fixpoint the greedy walk
+/// must reach, independent of any real orderer bug.
+ShrinkResult ShrinkWith(const Scenario& failing, const SimOptions& options,
+                        const ScenarioPredicate& predicate);
+
+}  // namespace planorder::sim
+
+#endif  // PLANORDER_SIM_SHRINK_H_

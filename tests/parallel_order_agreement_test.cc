@@ -74,7 +74,8 @@ bool Applicable(Algo algo, const utility::UtilityModel& model) {
 class ParallelAgreementTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ParallelAgreementTest, PoolDoesNotChangeEmissionsOrEvaluationCounts) {
-  const stats::Workload w = MakeWorkload(3, 6, 0.4, GetParam());
+  test::SeededScenario scenario("parallel_order_agreement_test", GetParam());
+  const stats::Workload w = MakeWorkload(3, 6, 0.4, scenario.seed());
   runtime::ThreadPool pool(4);
   // The Section-6 measures plus the two fully monotonic ones so Greedy is
   // exercised; inapplicable (measure, algorithm) pairs are skipped.

@@ -23,6 +23,7 @@
 #include "reformulation/inverse_rules.h"
 #include "reformulation/minicon.h"
 #include "reformulation/rewriting.h"
+#include "test_util.h"
 
 namespace planorder::reformulation {
 namespace {
@@ -137,7 +138,8 @@ AnswerSet UnionOfPlanAnswers(const std::vector<QueryPlan>& plans,
 class ReformulationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ReformulationFuzzTest, AllPathsAgreeOnCertainAnswers) {
-  std::mt19937_64 rng(GetParam());
+  test::SeededScenario scenario("reformulation_fuzz_test", GetParam());
+  std::mt19937_64& rng = scenario.rng();
   for (int round = 0; round < 8; ++round) {
     FuzzDomain d = MakeDomain(rng, /*allow_projection=*/true);
 
@@ -180,7 +182,9 @@ TEST_P(ReformulationFuzzTest, AllPathsAgreeOnCertainAnswers) {
 }
 
 TEST_P(ReformulationFuzzTest, ProjectionFreeViewsMakeAllPathsEqual) {
-  std::mt19937_64 rng(GetParam() * 977 + 3);
+  test::SeededScenario scenario("reformulation_fuzz_test",
+                                GetParam() * 977 + 3);
+  std::mt19937_64& rng = scenario.rng();
   for (int round = 0; round < 8; ++round) {
     FuzzDomain d = MakeDomain(rng, /*allow_projection=*/false);
     auto bucket_plans = EnumerateSoundPlans(d.query, d.catalog);

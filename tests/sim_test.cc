@@ -1,0 +1,185 @@
+// The simulation harness itself (src/sim/): scenario generation and replay
+// serialization, the exhaustive-order oracle's ability to actually reject
+// wrong orderings (a differential checker that never fires is worthless),
+// the greedy shrinker's fixpoint against a synthetic failure predicate, the
+// virtual clock's interleaving independence, and an end-to-end RunScenario
+// smoke over generated scenarios.
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/clock.h"
+#include "sim/harness.h"
+#include "sim/oracle.h"
+#include "sim/scenario.h"
+#include "sim/shrink.h"
+#include "test_util.h"
+
+namespace planorder::sim {
+namespace {
+
+using test::MakeWorkload;
+
+TEST(ScenarioTest, GenerationIsDeterministic) {
+  for (int step = 0; step < 4; ++step) {
+    const Scenario a = MakeScenario(17, step);
+    const Scenario b = MakeScenario(17, step);
+    EXPECT_EQ(a.Serialize(), b.Serialize()) << "step " << step;
+    EXPECT_EQ(a.base_seed, 17u);
+    EXPECT_EQ(a.step, step);
+  }
+  // Steps draw from independent streams; adjacent steps should not collide.
+  EXPECT_NE(MakeScenario(17, 0).Serialize(), MakeScenario(17, 1).Serialize());
+  EXPECT_NE(MakeScenario(17, 0).Serialize(), MakeScenario(18, 0).Serialize());
+}
+
+TEST(ScenarioTest, SerializeRoundTrips) {
+  for (uint64_t seed : {1u, 42u, 20260806u}) {
+    for (int step = 0; step < 3; ++step) {
+      const Scenario original = MakeScenario(seed, step);
+      auto parsed = Scenario::Deserialize(original.Serialize());
+      ASSERT_TRUE(parsed.ok()) << parsed.status();
+      EXPECT_EQ(parsed->Serialize(), original.Serialize())
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(ScenarioTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Scenario::Deserialize("").ok());
+  EXPECT_FALSE(Scenario::Deserialize("not a scenario").ok());
+  EXPECT_FALSE(Scenario::Deserialize("query_length=banana").ok());
+}
+
+TEST(OracleTest, AcceptsCorrectOrderRejectsCorruptions) {
+  const stats::Workload w = MakeWorkload(3, 4, 0.4, 31);
+  const std::vector<core::PlanSpace> spaces = {core::PlanSpace::FullSpace(w)};
+  // Coverage is conditional — the hardest case for the oracle's step-wise
+  // recomputation (every emission changes later utilities).
+  auto model = test::MustMakeMeasure(test::Measure::kCoverage, &w);
+  auto orderer = MakeOrderer(AlgoKind::kPi, &w, model.get(),
+                             /*probe_lower_bounds=*/false);
+  ASSERT_TRUE(orderer.ok()) << orderer.status();
+  auto emissions = Drain(**orderer, /*pool=*/nullptr);
+  ASSERT_TRUE(emissions.ok()) << emissions.status();
+  ASSERT_EQ(emissions->size(), 4u * 4u * 4u);
+
+  EXPECT_TRUE(
+      VerifyExactOrder(w, test::Measure::kCoverage, spaces, *emissions, 1e-9)
+          .ok());
+
+  {
+    // Swapping the first and last emission breaks the argmax property.
+    auto corrupted = *emissions;
+    std::swap(corrupted.front(), corrupted.back());
+    EXPECT_FALSE(VerifyExactOrder(w, test::Measure::kCoverage, spaces,
+                                  corrupted, 1e-9)
+                     .ok());
+  }
+  {
+    // A misreported utility must be caught even when the order is right.
+    auto corrupted = *emissions;
+    corrupted[3].utility += 0.125;
+    EXPECT_FALSE(VerifyExactOrder(w, test::Measure::kCoverage, spaces,
+                                  corrupted, 1e-9)
+                     .ok());
+  }
+  {
+    // Emitting a plan twice (dropping another) is not a permutation.
+    auto corrupted = *emissions;
+    corrupted[1] = corrupted[0];
+    EXPECT_FALSE(VerifyExactOrder(w, test::Measure::kCoverage, spaces,
+                                  corrupted, 1e-9)
+                     .ok());
+  }
+}
+
+TEST(ShrinkTest, ReachesSyntheticFixpoint) {
+  // A fully-loaded scenario; the synthetic bug "fails iff coverage is among
+  // the measures and the query joins at least two buckets" ignores every
+  // other axis, so the greedy walk must strip all of them.
+  Scenario failing = MakeScenario(7, 0);
+  failing.query_length = 4;
+  failing.bucket_size = 5;
+  failing.measures = AllMeasureKinds();
+  failing.algos = AllAlgoKinds();
+  failing.thread_counts = {2, 8};
+  failing.probe_lower_bounds = true;
+  failing.check_oracle = true;
+  failing.check_monotone = true;
+  failing.check_relabel = true;
+  failing.check_runtime = true;
+
+  int predicate_calls = 0;
+  const ShrinkResult result = ShrinkWith(
+      failing, SimOptions{},
+      [&predicate_calls](const Scenario& s, const SimOptions&) -> Status {
+        ++predicate_calls;
+        const bool has_coverage =
+            std::find(s.measures.begin(), s.measures.end(),
+                      utility::MeasureKind::kCoverage) != s.measures.end();
+        if (has_coverage && s.query_length >= 2) {
+          return InternalError("synthetic coverage-join bug");
+        }
+        return OkStatus();
+      });
+
+  EXPECT_EQ(result.scenario.measures,
+            std::vector<utility::MeasureKind>{utility::MeasureKind::kCoverage});
+  EXPECT_EQ(result.scenario.query_length, 2);
+  EXPECT_EQ(result.scenario.bucket_size, 2);
+  EXPECT_EQ(result.scenario.algos.size(), 1u);
+  EXPECT_TRUE(result.scenario.thread_counts.empty());
+  EXPECT_FALSE(result.scenario.probe_lower_bounds);
+  EXPECT_FALSE(result.scenario.check_oracle);
+  EXPECT_FALSE(result.scenario.check_monotone);
+  EXPECT_FALSE(result.scenario.check_relabel);
+  EXPECT_FALSE(result.scenario.check_runtime);
+  EXPECT_EQ(result.scenario.regions_per_bucket, 2);
+  EXPECT_EQ(result.failure, "synthetic coverage-join bug");
+  EXPECT_EQ(result.attempts, predicate_calls);
+  EXPECT_GE(result.rounds, 2);  // at least one adopting pass + the fixpoint
+}
+
+TEST(VirtualClockTest, ConcurrentAdvanceIsInterleavingIndependent) {
+  // Atomic integer-nanosecond accumulation commutes, so the elapsed total
+  // after a fixed multiset of sleeps must be exact and thread-schedule
+  // independent — the property CheckRuntimeEquivalence leans on.
+  double expected = 0.0;
+  for (int run = 0; run < 3; ++run) {
+    runtime::VirtualClock clock;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&clock, t] {
+        for (int i = 0; i < 1000; ++i) {
+          clock.SleepMs(0.25 * (t + 1), /*dilation=*/3.0);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    if (run == 0) {
+      expected = clock.NowMs();
+      // 1000 * 0.25ms * (1+2+...+8) = 9000ms, undilated.
+      EXPECT_DOUBLE_EQ(expected, 9000.0);
+    } else {
+      EXPECT_DOUBLE_EQ(clock.NowMs(), expected) << "run " << run;
+    }
+  }
+}
+
+TEST(SimHarnessTest, RunScenarioSmoke) {
+  SimReport report;
+  for (int step = 0; step < 2; ++step) {
+    const Scenario scenario = MakeScenario(20260806, step);
+    Status status = RunScenario(scenario, SimOptions{}, &report);
+    EXPECT_TRUE(status.ok()) << scenario.Summary() << ": " << status;
+  }
+  EXPECT_GT(report.checks, 0);
+}
+
+}  // namespace
+}  // namespace planorder::sim

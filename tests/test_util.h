@@ -1,7 +1,9 @@
 #ifndef PLANORDER_TESTS_TEST_UTIL_H_
 #define PLANORDER_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,49 @@ inline std::unique_ptr<utility::UtilityModel> MustMakeMeasure(
   EXPECT_TRUE(model.ok()) << model.status();
   return std::move(*model);
 }
+
+/// Failure context for seeded randomized tests. Construct one at the top of
+/// a TEST_P body with the test target's name and the seed actually used;
+/// every assertion that fails in scope then reports the seed plus a
+/// copy-paste replay command pinning the exact parameterized instance:
+///
+///   TEST_P(MyFuzzTest, Property) {
+///     SeededScenario scenario("my_fuzz_test", GetParam());
+///     std::mt19937_64& rng = scenario.rng();
+///     ...
+///   }
+///
+/// This is the gtest-side counterpart of planorder_sim's --replay=seed:step
+/// reporting (DESIGN.md §7): a randomized failure is only actionable if its
+/// report alone reproduces it.
+class SeededScenario {
+ public:
+  SeededScenario(const std::string& test_binary, uint64_t seed)
+      : seed_(seed),
+        rng_(seed),
+        trace_(__FILE__, __LINE__, ReplayMessage(test_binary, seed)) {}
+
+  uint64_t seed() const { return seed_; }
+  /// The scenario's generator, seeded with seed().
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  static std::string ReplayMessage(const std::string& test_binary,
+                                   uint64_t seed) {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string filter = "<unknown test>";
+    if (info != nullptr) {
+      filter = std::string(info->test_suite_name()) + "." + info->name();
+    }
+    return "seed=" + std::to_string(seed) + "  replay: ./tests/" +
+           test_binary + " --gtest_filter='" + filter + "'";
+  }
+
+  uint64_t seed_;
+  std::mt19937_64 rng_;
+  ::testing::ScopedTrace trace_;
+};
 
 /// Emits up to `k` plans from `orderer` (all plans when k < 0).
 inline std::vector<core::OrderedPlan> Drain(core::Orderer& orderer,
