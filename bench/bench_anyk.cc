@@ -1,0 +1,234 @@
+/// Benchmark of ranked (any-k) answer enumeration: Fig-6-style
+/// time-to-first-k sweep over bucket size. For each (bucket_size, k) point it
+/// times
+///   - anyk_first_k_ms: opening a RankedAnswerStream (plan phase: every sound
+///     plan pulled from iDrips in utility order, one bottom-up DP each) and
+///     pulling the first k ranked answers lazily, and
+///   - sort_all_ms: the classic materialize-then-sort baseline — every sound,
+///     executable rewriting of the full Cartesian product joined by the
+///     brute-force backtracking evaluator, deduplicated and globally sorted
+///     (the k-th answer is not available any earlier than the whole order).
+/// A full stream drain (anyk_full_ms) is reported alongside so the sweep
+/// shows first-k latency growing sublinearly in the answer count while the
+/// baseline pays the full materialization regardless of k.
+/// Results go to BENCH_anyk.json.
+///
+/// Usage: bench_anyk [output.json] [--k=K[,K2...]] [--repeats=R]
+///        [--weights-seed=S]
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "anyk/brute_force.h"
+#include "anyk/ranked_stream.h"
+#include "base/logging.h"
+#include "bench_util.h"
+#include "core/plan_space.h"
+#include "exec/synthetic_domain.h"
+#include "reformulation/executable_order.h"
+#include "reformulation/rewriting.h"
+
+namespace planorder::bench {
+namespace {
+
+/// Opens the ranked stream over the full plan budget: measure model + iDrips
+/// orderer + plan phase. Everything here is inside the caller's timed region.
+anyk::RankedAnswerStream OpenStream(const exec::SyntheticDomain& domain,
+                                    const anyk::WeightOptions& weights,
+                                    int max_plans) {
+  auto model = utility::MakeMeasure(utility::MeasureKind::kCoverage,
+                                    &domain.workload);
+  PLANORDER_CHECK(model.ok()) << model.status();
+  auto orderer = core::IDripsOrderer::Create(
+      &domain.workload, model->get(),
+      {core::PlanSpace::FullSpace(domain.workload)});
+  PLANORDER_CHECK(orderer.ok()) << orderer.status();
+  anyk::RankedAnswerStream::Options options;
+  options.weights = weights;
+  options.max_plans = max_plans;
+  auto stream = anyk::RankedAnswerStream::Open(
+      domain.catalog, domain.query, domain.source_facts, domain.source_ids,
+      **orderer, options);
+  PLANORDER_CHECK(stream.ok()) << stream.status();
+  return std::move(*stream);
+}
+
+struct TimedRun {
+  double ms = 0.0;
+  size_t answers = 0;
+};
+
+/// Time from query issue to the k-th ranked answer (fewer if the union is
+/// smaller); k <= 0 drains the stream completely.
+TimedRun TimeAnyK(const exec::SyntheticDomain& domain,
+                  const anyk::WeightOptions& weights, int max_plans, int k) {
+  const auto start = std::chrono::steady_clock::now();
+  anyk::RankedAnswerStream stream = OpenStream(domain, weights, max_plans);
+  TimedRun run;
+  while (k <= 0 || run.answers < size_t(k)) {
+    auto next = stream.Next();
+    if (!next.ok()) {
+      PLANORDER_CHECK(next.status().code() == StatusCode::kNotFound)
+          << next.status();
+      break;
+    }
+    benchmark::DoNotOptimize(next->weight);
+    ++run.answers;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  run.ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  return run;
+}
+
+/// The materialize-then-sort baseline: every sound, executable rewriting of
+/// the full Cartesian product, evaluated by the naive backtracking join and
+/// globally sorted. The rewriting enumeration is part of the timed region —
+/// the baseline, too, starts from the raw query.
+TimedRun TimeSortAll(const exec::SyntheticDomain& domain,
+                     const anyk::WeightOptions& weights) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<datalog::ConjunctiveQuery> rewritings;
+  const size_t num_buckets = domain.source_ids.size();
+  std::vector<size_t> odometer(num_buckets, 0);
+  while (true) {
+    std::vector<datalog::SourceId> choice(num_buckets);
+    for (size_t b = 0; b < num_buckets; ++b) {
+      choice[b] = domain.source_ids[b][odometer[b]];
+    }
+    auto plan =
+        reformulation::BuildSoundPlan(domain.query, domain.catalog, choice);
+    PLANORDER_CHECK(plan.ok()) << plan.status();
+    if (plan->has_value()) {
+      auto ordered =
+          reformulation::FindExecutableOrder(**plan, domain.catalog);
+      if (ordered.ok()) {
+        rewritings.push_back((**plan).rewriting);
+      } else {
+        PLANORDER_CHECK(ordered.status().code() ==
+                        StatusCode::kFailedPrecondition)
+            << ordered.status();
+      }
+    }
+    size_t b = 0;
+    for (; b < num_buckets; ++b) {
+      if (++odometer[b] < domain.source_ids[b].size()) break;
+      odometer[b] = 0;
+    }
+    if (b == num_buckets) break;
+  }
+  auto all = anyk::BruteForceRankedUnion(rewritings, domain.source_facts,
+                                         weights);
+  PLANORDER_CHECK(all.ok()) << all.status();
+  benchmark::DoNotOptimize(all->data());
+  const auto stop = std::chrono::steady_clock::now();
+  TimedRun run;
+  run.ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  run.answers = all->size();
+  return run;
+}
+
+struct GridPoint {
+  int bucket_size = 0;
+  uint64_t plans = 0;
+  size_t answers = 0;
+  int k = 0;
+  size_t emitted = 0;
+  double anyk_first_k_ms = 0.0;
+  double anyk_full_ms = 0.0;
+  double sort_all_ms = 0.0;
+};
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv, "BENCH_anyk.json",
+                                           /*default_threads=*/{},
+                                           /*default_repeats=*/3,
+                                           /*default_ks=*/{1, 10, 100});
+  const int repeats = std::max(flags.repeats, 1);
+  anyk::WeightOptions weights;
+  weights.seed = flags.weights_seed;
+  weights.aggregation = anyk::Aggregation::kSum;
+
+  const std::vector<int> sizes = {2, 4, 8};
+  std::vector<GridPoint> points;
+  for (int size : sizes) {
+    stats::WorkloadOptions wopts;
+    wopts.query_length = 3;
+    wopts.bucket_size = size;
+    wopts.overlap_rate = 0.4;
+    wopts.regions_per_bucket = 16;
+    wopts.seed = 31;
+    auto domain = exec::BuildSyntheticDomain(wopts, /*num_answers=*/400);
+    PLANORDER_CHECK(domain.ok()) << domain.status();
+    const exec::SyntheticDomain& d = **domain;
+    const uint64_t plans =
+        core::PlanSpace::FullSpace(d.workload).NumPlans();
+
+    TimedRun sort_all = TimeSortAll(d, weights);
+    TimedRun full = TimeAnyK(d, weights, int(plans), /*k=*/0);
+    for (int r = 1; r < repeats; ++r) {
+      sort_all.ms = std::min(sort_all.ms, TimeSortAll(d, weights).ms);
+      full.ms = std::min(full.ms, TimeAnyK(d, weights, int(plans), 0).ms);
+    }
+    PLANORDER_CHECK(full.answers == sort_all.answers)
+        << "stream drained " << full.answers << " answers, sort-all baseline "
+        << sort_all.answers;
+
+    for (int k : flags.ks) {
+      TimedRun first_k = TimeAnyK(d, weights, int(plans), k);
+      for (int r = 1; r < repeats; ++r) {
+        first_k.ms =
+            std::min(first_k.ms, TimeAnyK(d, weights, int(plans), k).ms);
+      }
+      GridPoint point;
+      point.bucket_size = size;
+      point.plans = plans;
+      point.answers = sort_all.answers;
+      point.k = k;
+      point.emitted = first_k.answers;
+      point.anyk_first_k_ms = first_k.ms;
+      point.anyk_full_ms = full.ms;
+      point.sort_all_ms = sort_all.ms;
+      points.push_back(point);
+      std::cout << "size=" << size << " plans=" << plans << " answers="
+                << point.answers << " k=" << k << ": any-k " << first_k.ms
+                << " ms to the first " << first_k.answers
+                << ", sort-all " << sort_all.ms << " ms ("
+                << sort_all.ms / std::max(first_k.ms, 1e-9) << "x)\n";
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"anyk\",\n"
+       << "  \"host\": " << HostMetadataJson(flags) << ",\n"
+       << "  \"weights\": {\"seed\": " << weights.seed
+       << ", \"aggregation\": \""
+       << anyk::AggregationName(weights.aggregation) << "\"},\n"
+       << "  \"sweep\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const GridPoint& p = points[i];
+    json << "    {\"bucket_size\": " << p.bucket_size << ", \"plans\": "
+         << p.plans << ", \"answers\": " << p.answers << ", \"k\": " << p.k
+         << ", \"emitted\": " << p.emitted << ", \"anyk_first_k_ms\": "
+         << p.anyk_first_k_ms << ", \"anyk_full_ms\": " << p.anyk_full_ms
+         << ", \"sort_all_ms\": " << p.sort_all_ms
+         << ", \"speedup_first_k\": "
+         << p.sort_all_ms / std::max(p.anyk_first_k_ms, 1e-9) << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::ofstream out(flags.output);
+  PLANORDER_CHECK(out.good()) << "cannot write " << flags.output;
+  out << json.str();
+  std::cout << "wrote " << flags.output << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace planorder::bench
+
+int main(int argc, char** argv) { return planorder::bench::Main(argc, argv); }

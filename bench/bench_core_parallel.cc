@@ -167,6 +167,7 @@ int Main(int argc, char** argv) {
 
   std::ostringstream json;
   json << "{\n  \"bench\": \"core_parallel\",\n"
+       << "  \"host\": " << HostMetadataJson(flags) << ",\n"
        << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
        << ",\n"
        << "  \"workload\": {\"query_length\": " << wopts.query_length

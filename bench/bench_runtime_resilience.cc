@@ -197,10 +197,12 @@ std::vector<FailurePoint> RunFailureRecovery(const exec::SyntheticDomain& d,
   return recovery;
 }
 
-void WriteJson(const std::string& path, const std::vector<SweepPoint>& sweep,
+void WriteJson(const BenchFlags& flags, const std::vector<SweepPoint>& sweep,
                const std::vector<FailurePoint>& recovery) {
+  const std::string& path = flags.output;
   std::ostringstream json;
   json << "{\n  \"bench\": \"runtime_resilience\",\n";
+  json << "  \"host\": " << HostMetadataJson(flags) << ",\n";
   json << "  \"max_plans\": " << kMaxPlans << ",\n";
   json << "  \"latency_sweep\": [\n";
   for (size_t i = 0; i < sweep.size(); ++i) {
@@ -250,7 +252,7 @@ int Main(int argc, char** argv) {
       ParseBenchFlags(argc, argv, "BENCH_runtime.json", {4, 8});
   const std::vector<SweepPoint> sweep = RunLatencySweep(d, registry, flags);
   const std::vector<FailurePoint> recovery = RunFailureRecovery(d, registry);
-  WriteJson(flags.output, sweep, recovery);
+  WriteJson(flags, sweep, recovery);
   return 0;
 }
 

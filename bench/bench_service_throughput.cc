@@ -177,6 +177,7 @@ int Main(int argc, char** argv) {
 
   std::ostringstream json;
   json << "{\n  \"bench\": \"service_throughput\",\n"
+       << "  \"host\": " << HostMetadataJson(flags) << ",\n"
        << "  \"client_threads\": " << kClientThreads << ",\n"
        << "  \"queries_per_client\": " << kQueriesPerClient << ",\n"
        << "  \"isomorphic_variants\": " << kVariants << ",\n"

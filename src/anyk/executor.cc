@@ -1,0 +1,286 @@
+#include "anyk/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace planorder::anyk {
+
+namespace {
+
+/// Heap comparator ("a has lower priority than b" for std::push_heap): the
+/// frontier is totally ordered by aggregate descending, then entry index
+/// ascending, then rank vector ascending — deterministic pops even at exact
+/// weight ties.
+constexpr auto kCandidateLess = [](const auto& a, const auto& b) {
+  if (a.agg != b.agg) return a.agg < b.agg;
+  if (a.entry != b.entry) return a.entry > b.entry;
+  return a.child_ranks > b.child_ranks;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<AnyKEnumerator>> AnyKEnumerator::Create(
+    const datalog::ConjunctiveQuery& query, const datalog::Database& facts,
+    const WeightOptions& options) {
+  PLANORDER_RETURN_IF_ERROR(query.ValidateSafety());
+  std::unique_ptr<AnyKEnumerator> enumerator(new AnyKEnumerator());
+  PLANORDER_RETURN_IF_ERROR(enumerator->Build(query, facts, options));
+  return enumerator;
+}
+
+Status AnyKEnumerator::Build(const datalog::ConjunctiveQuery& query,
+                             const datalog::Database& facts,
+                             const WeightOptions& options) {
+  options_ = options;
+  PLANORDER_ASSIGN_OR_RETURN(tree_, BuildJoinTree(query));
+  atoms_ = query.body;
+  head_args_ = query.head.args;
+  for (const datalog::Term& arg : head_args_) {
+    if (!arg.is_variable() && !arg.IsGround()) {
+      return UnimplementedError(
+          "any-k does not support non-ground function terms in the head");
+    }
+  }
+
+  const int n = static_cast<int>(atoms_.size());
+  nodes_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    NodeState& node = nodes_[i];
+    const datalog::Atom& atom = atoms_[i];
+    for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+      const datalog::Term& arg = atom.args[pos];
+      if (arg.is_variable()) {
+        node.var_position.emplace(arg.name(), static_cast<int>(pos));
+      } else if (!arg.IsGround()) {
+        return UnimplementedError(
+            "any-k does not support non-ground function terms in the body");
+      }
+    }
+    for (const std::vector<datalog::Term>& row :
+         facts.TuplesFor(atom.predicate)) {
+      if (row.size() != atom.args.size()) continue;
+      bool match = true;
+      for (size_t pos = 0; pos < atom.args.size() && match; ++pos) {
+        const datalog::Term& arg = atom.args[pos];
+        if (arg.is_variable()) {
+          // Repeated variables must bind consistently.
+          const int first = node.var_position.at(arg.name());
+          match = row[first] == row[pos];
+        } else {
+          match = row[pos] == arg;
+        }
+      }
+      if (!match) continue;
+      node.rows.push_back(&row);
+      node.row_weights.push_back(TupleWeight(options_, row));
+    }
+    for (const std::string& var : tree_.nodes[i].join_vars) {
+      node.parent_key_positions.push_back(node.var_position.at(var));
+    }
+    node.child_key_positions.resize(tree_.nodes[i].children.size());
+    for (size_t c = 0; c < tree_.nodes[i].children.size(); ++c) {
+      const int child = tree_.nodes[i].children[c];
+      for (const std::string& var : tree_.nodes[child].join_vars) {
+        // Running-intersection property: every child join variable occurs in
+        // the parent atom.
+        node.child_key_positions[c].push_back(node.var_position.at(var));
+      }
+    }
+  }
+
+  // Bottom-up DP: removal_order lists children before parents.
+  auto extract = [](const std::vector<datalog::Term>& row,
+                    const std::vector<int>& positions) {
+    std::vector<datalog::Term> key;
+    key.reserve(positions.size());
+    for (int pos : positions) key.push_back(row[pos]);
+    return key;
+  };
+  for (int i : tree_.removal_order) {
+    NodeState& node = nodes_[i];
+    const std::vector<int>& children = tree_.nodes[i].children;
+    for (size_t r = 0; r < node.rows.size(); ++r) {
+      const std::vector<datalog::Term>& row = *node.rows[r];
+      double agg = node.row_weights[r];
+      bool admissible = true;
+      for (size_t c = 0; c < children.size(); ++c) {
+        const int group =
+            FindGroup(children[c], extract(row, node.child_key_positions[c]));
+        if (group < 0) {
+          // Semi-join reduction: no subtree solution joins this row.
+          admissible = false;
+          break;
+        }
+        agg = AggregationCombine(options_.aggregation, agg,
+                                 nodes_[children[c]].groups[group].entries[0]
+                                     .best);
+      }
+      if (!admissible) continue;
+      std::vector<datalog::Term> key =
+          extract(row, node.parent_key_positions);
+      auto [it, inserted] = node.group_index.emplace(
+          std::move(key), static_cast<int>(node.groups.size()));
+      if (inserted) node.groups.emplace_back();
+      node.groups[it->second].entries.push_back(
+          Entry{static_cast<int>(r), agg});
+    }
+    for (Group& group : node.groups) {
+      std::sort(group.entries.begin(), group.entries.end(),
+                [&node](const Entry& a, const Entry& b) {
+                  if (a.best != b.best) return a.best > b.best;
+                  return *node.rows[a.row] < *node.rows[b.row];
+                });
+    }
+  }
+  root_group_ = FindGroup(tree_.root, {});
+  return OkStatus();
+}
+
+int AnyKEnumerator::FindGroup(int node,
+                              const std::vector<datalog::Term>& key) const {
+  const auto it = nodes_[node].group_index.find(key);
+  return it == nodes_[node].group_index.end() ? -1 : it->second;
+}
+
+double AnyKEnumerator::CombineAggregate(int node, int group, int entry,
+                                        const std::vector<int>& ranks) {
+  const NodeState& state = nodes_[node];
+  const int row = state.groups[group].entries[entry].row;
+  double agg = state.row_weights[row];
+  const std::vector<int>& children = tree_.nodes[node].children;
+  for (size_t c = 0; c < children.size(); ++c) {
+    std::vector<datalog::Term> key;
+    for (int pos : state.child_key_positions[c]) {
+      key.push_back((*state.rows[row])[pos]);
+    }
+    const int child_group = FindGroup(children[c], key);
+    PLANORDER_CHECK_GE(child_group, 0);
+    const Solution* solution =
+        GetSolution(children[c], child_group, ranks[c]);
+    PLANORDER_CHECK(solution != nullptr);
+    agg = AggregationCombine(options_.aggregation, agg, solution->agg);
+  }
+  return agg;
+}
+
+void AnyKEnumerator::PushCandidate(int node, int group, Candidate candidate) {
+  std::vector<Candidate>& frontier = nodes_[node].groups[group].frontier;
+  frontier.push_back(std::move(candidate));
+  std::push_heap(frontier.begin(), frontier.end(), kCandidateLess);
+}
+
+const AnyKEnumerator::Solution* AnyKEnumerator::GetSolution(int node,
+                                                            int group,
+                                                            int rank) {
+  Group& g = nodes_[node].groups[group];
+  const std::vector<int>& children = tree_.nodes[node].children;
+  if (!g.open) {
+    g.open = true;
+    if (!g.entries.empty()) {
+      PushCandidate(node, group,
+                    Candidate{g.entries[0].best, 0,
+                              std::vector<int>(children.size(), 0), 0});
+    }
+  }
+  while (static_cast<int>(g.produced.size()) <= rank && !g.frontier.empty()) {
+    std::pop_heap(g.frontier.begin(), g.frontier.end(), kCandidateLess);
+    Candidate top = std::move(g.frontier.back());
+    g.frontier.pop_back();
+    g.produced.push_back(Solution{top.agg, top.entry, top.child_ranks});
+
+    // Successor 1 (Lawler partition over the sorted entry list): the next
+    // entry enters the frontier only from the all-zeros rank vector, so each
+    // (entry, ranks) pair is generated exactly once.
+    const bool all_zero =
+        std::all_of(top.child_ranks.begin(), top.child_ranks.end(),
+                    [](int r) { return r == 0; });
+    if (all_zero && top.entry + 1 < static_cast<int>(g.entries.size())) {
+      PushCandidate(node, group,
+                    Candidate{g.entries[top.entry + 1].best, top.entry + 1,
+                              std::vector<int>(children.size(), 0), 0});
+    }
+    // Successor 2: bump one child rank at or after the last bumped position
+    // (the unique non-decreasing increment path to every rank vector).
+    const NodeState& state = nodes_[node];
+    const int row = g.entries[top.entry].row;
+    for (size_t c = top.last_inc; c < children.size(); ++c) {
+      std::vector<datalog::Term> key;
+      for (int pos : state.child_key_positions[c]) {
+        key.push_back((*state.rows[row])[pos]);
+      }
+      const int child_group = FindGroup(children[c], key);
+      PLANORDER_CHECK_GE(child_group, 0);
+      if (GetSolution(children[c], child_group, top.child_ranks[c] + 1) ==
+          nullptr) {
+        continue;  // that child stream is exhausted at this depth
+      }
+      std::vector<int> ranks = top.child_ranks;
+      ++ranks[c];
+      const double agg = CombineAggregate(node, group, top.entry, ranks);
+      PushCandidate(node, group,
+                    Candidate{agg, top.entry, std::move(ranks),
+                              static_cast<int>(c)});
+    }
+  }
+  if (static_cast<int>(g.produced.size()) <= rank) return nullptr;
+  return &g.produced[rank];
+}
+
+void AnyKEnumerator::BindWitness(
+    int node, int group, int rank,
+    std::unordered_map<std::string, datalog::Term>& bindings) {
+  const NodeState& state = nodes_[node];
+  const Solution& solution = state.groups[group].produced[rank];
+  const int row = state.groups[group].entries[solution.entry].row;
+  for (const auto& [var, pos] : state.var_position) {
+    bindings[var] = (*state.rows[row])[pos];
+  }
+  const std::vector<int>& children = tree_.nodes[node].children;
+  for (size_t c = 0; c < children.size(); ++c) {
+    std::vector<datalog::Term> key;
+    for (int pos : state.child_key_positions[c]) {
+      key.push_back((*state.rows[row])[pos]);
+    }
+    const int child_group = FindGroup(children[c], key);
+    PLANORDER_CHECK_GE(child_group, 0);
+    BindWitness(children[c], child_group, solution.child_ranks[c], bindings);
+  }
+}
+
+const RankedAnswer* AnyKEnumerator::Peek() {
+  if (peek_valid_) return &peeked_;
+  if (root_group_ < 0) return nullptr;
+  const Solution* solution = GetSolution(tree_.root, root_group_, next_rank_);
+  if (solution == nullptr) return nullptr;
+  std::unordered_map<std::string, datalog::Term> bindings;
+  BindWitness(tree_.root, root_group_, next_rank_, bindings);
+  peeked_.tuple.clear();
+  peeked_.tuple.reserve(head_args_.size());
+  for (const datalog::Term& arg : head_args_) {
+    if (arg.is_variable()) {
+      const auto it = bindings.find(arg.name());
+      PLANORDER_CHECK(it != bindings.end())
+          << "unbound head variable " << arg.name();
+      peeked_.tuple.push_back(it->second);
+    } else {
+      peeked_.tuple.push_back(arg);
+    }
+  }
+  peeked_.weight = solution->agg;
+  peek_valid_ = true;
+  return &peeked_;
+}
+
+StatusOr<RankedAnswer> AnyKEnumerator::Next() {
+  if (Peek() == nullptr) {
+    return NotFoundError("any-k enumeration exhausted");
+  }
+  peek_valid_ = false;
+  ++next_rank_;
+  ++witnesses_emitted_;
+  return std::move(peeked_);
+}
+
+}  // namespace planorder::anyk

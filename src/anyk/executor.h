@@ -1,0 +1,149 @@
+#ifndef PLANORDER_ANYK_EXECUTOR_H_
+#define PLANORDER_ANYK_EXECUTOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "anyk/join_tree.h"
+#include "anyk/weights.h"
+#include "base/status.h"
+#include "datalog/evaluator.h"
+
+namespace planorder::anyk {
+
+/// Ranked (any-k) enumeration of one acyclic conjunctive query's results:
+/// witnesses come out in non-increasing aggregate weight without ever
+/// materializing the full join.
+///
+/// Two phases (Tziavelis et al., "Any-k Algorithms for Enumerating Ranked
+/// Answers to Conjunctive Queries"):
+///
+///  1. Bottom-up DP over the join tree. Each node's admissible tuples are
+///     grouped by their join key towards the parent; a tuple's DP value is
+///     the best aggregate achievable in its subtree (its own weight combined
+///     with each child group's best). Tuples whose child group is empty are
+///     pruned — the classic semi-join reduction, for free.
+///  2. Lazy successor generation. Per (node, join-key) group a ranked stream
+///     of subtree solutions is materialized on demand from a priority queue:
+///     popping a solution pushes its Lawler-style successors (advance to the
+///     next tuple from the all-zeros rank vector; bump one child rank at or
+///     after the last bumped position), so producing the k-th solution costs
+///     O(log) heap work per step and streams are shared across all parent
+///     tuples with the same key.
+///
+/// Weight determinism: aggregates are folded over dyadic-rational tuple
+/// weights (see WeightOptions), so the DP value, the enumerator's emission
+/// weight and any independent recomputation agree bit-for-bit.
+///
+/// Emission order contract: weights are non-increasing; the order among
+/// equal-weight witnesses is deterministic but otherwise unspecified —
+/// ranked consumers that need a canonical tie order (the global frontier
+/// merge, the differential oracle) batch equal-weight answers and sort them.
+class AnyKEnumerator {
+ public:
+  /// Builds the DP (phase 1) for `query` over `facts`. `facts` must outlive
+  /// the enumerator; `query` must be safe and acyclic (kFailedPrecondition
+  /// otherwise, kUnimplemented on comparison atoms or non-ground function
+  /// arguments).
+  static StatusOr<std::unique_ptr<AnyKEnumerator>> Create(
+      const datalog::ConjunctiveQuery& query, const datalog::Database& facts,
+      const WeightOptions& options);
+
+  /// The next witness's head projection, or nullptr when exhausted. The
+  /// pointer stays valid until the following Peek()/Next() call.
+  const RankedAnswer* Peek();
+
+  /// Emits the next witness's head projection (kNotFound when exhausted).
+  /// Distinct witnesses can project to the same answer; deduplication is the
+  /// caller's concern (first occurrence carries the answer's best weight).
+  StatusOr<RankedAnswer> Next();
+
+  /// Witnesses emitted so far (not deduplicated).
+  size_t witnesses_emitted() const { return witnesses_emitted_; }
+
+ private:
+  /// One admissible tuple of a node together with its DP value.
+  struct Entry {
+    int row = 0;        // index into NodeState::rows
+    double best = 0.0;  // best subtree aggregate achievable through this row
+  };
+
+  /// A fully ranked subtree solution: entry + one rank per child stream.
+  struct Solution {
+    double agg = 0.0;
+    int entry = 0;
+    std::vector<int> child_ranks;
+  };
+
+  /// A frontier element of a group's lazy stream. `last_inc` is the Lawler
+  /// partition pointer: successors may only bump child ranks at or after it.
+  struct Candidate {
+    double agg = 0.0;
+    int entry = 0;
+    std::vector<int> child_ranks;
+    int last_inc = 0;
+  };
+
+  /// All subtree solutions sharing one (node, parent join key): the sorted
+  /// DP entries plus the lazily materialized ranked stream over them.
+  struct Group {
+    std::vector<Entry> entries;
+    bool open = false;
+    std::vector<Solution> produced;
+    std::vector<Candidate> frontier;  // heap (std::push_heap/pop_heap)
+  };
+
+  struct NodeState {
+    /// Admissible rows (constants and repeated variables already enforced).
+    std::vector<const std::vector<datalog::Term>*> rows;
+    std::vector<double> row_weights;
+    /// Argument positions of each variable's first occurrence in the atom.
+    std::unordered_map<std::string, int> var_position;
+    /// Key-extraction positions: towards the parent, and per child.
+    std::vector<int> parent_key_positions;
+    std::vector<std::vector<int>> child_key_positions;
+    std::unordered_map<std::vector<datalog::Term>, int,
+                       datalog::TermVectorHash>
+        group_index;
+    std::vector<Group> groups;
+  };
+
+  AnyKEnumerator() = default;
+
+  Status Build(const datalog::ConjunctiveQuery& query,
+               const datalog::Database& facts, const WeightOptions& options);
+
+  /// Forces production of `rank` in the group's stream; nullptr = exhausted
+  /// before `rank`.
+  const Solution* GetSolution(int node, int group, int rank);
+
+  /// The group of `node` matching child-or-parent key `key`, or -1.
+  int FindGroup(int node, const std::vector<datalog::Term>& key) const;
+
+  /// Aggregate of (entry row weight ⊕ children at `ranks`). All referenced
+  /// child solutions must already be produced.
+  double CombineAggregate(int node, int group, int entry,
+                          const std::vector<int>& ranks);
+
+  void PushCandidate(int node, int group, Candidate candidate);
+
+  /// Collects variable bindings of the witness rooted at (node, group, rank).
+  void BindWitness(int node, int group, int rank,
+                   std::unordered_map<std::string, datalog::Term>& bindings);
+
+  WeightOptions options_;
+  JoinTree tree_;
+  std::vector<datalog::Atom> atoms_;  // body, aligned with tree_ node ids
+  std::vector<datalog::Term> head_args_;
+  std::vector<NodeState> nodes_;
+  int root_group_ = -1;  // -1 = empty result
+  int next_rank_ = 0;
+  RankedAnswer peeked_;
+  bool peek_valid_ = false;
+  size_t witnesses_emitted_ = 0;
+};
+
+}  // namespace planorder::anyk
+
+#endif  // PLANORDER_ANYK_EXECUTOR_H_

@@ -1,0 +1,73 @@
+#include "anyk/join_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include "datalog/builtins.h"
+
+namespace planorder::anyk {
+
+StatusOr<JoinTree> BuildJoinTree(const datalog::ConjunctiveQuery& query) {
+  const int n = static_cast<int>(query.body.size());
+  if (n == 0) {
+    return InvalidArgumentError("join tree needs a non-empty body");
+  }
+  std::vector<std::set<std::string>> vars(n);
+  for (int i = 0; i < n; ++i) {
+    if (datalog::IsComparisonAtom(query.body[i])) {
+      return UnimplementedError(
+          "any-k does not support interpreted comparison atoms");
+    }
+    query.body[i].CollectVariables(vars[i]);
+  }
+
+  JoinTree tree;
+  tree.nodes.resize(n);
+  for (int i = 0; i < n; ++i) tree.nodes[i].atom = i;
+
+  std::vector<bool> active(n, true);
+  int remaining = n;
+  while (remaining > 1) {
+    // One GYO step: find the first atom whose variables shared with any
+    // other active atom all fit inside a single active witness; remove it as
+    // that witness's child. A pass that removes nothing proves cyclicity.
+    bool removed = false;
+    for (int a = 0; a < n && !removed; ++a) {
+      if (!active[a]) continue;
+      std::set<std::string> shared;
+      for (int b = 0; b < n; ++b) {
+        if (b == a || !active[b]) continue;
+        std::set_intersection(vars[a].begin(), vars[a].end(), vars[b].begin(),
+                              vars[b].end(),
+                              std::inserter(shared, shared.end()));
+      }
+      for (int w = 0; w < n; ++w) {
+        if (w == a || !active[w]) continue;
+        if (!std::includes(vars[w].begin(), vars[w].end(), shared.begin(),
+                           shared.end())) {
+          continue;
+        }
+        tree.nodes[a].parent = w;
+        tree.nodes[a].join_vars.assign(shared.begin(), shared.end());
+        tree.nodes[w].children.push_back(a);
+        tree.removal_order.push_back(a);
+        active[a] = false;
+        --remaining;
+        removed = true;
+        break;
+      }
+    }
+    if (!removed) {
+      return FailedPreconditionError(
+          "query is cyclic: no GYO ear removable from " +
+          std::to_string(remaining) + " remaining atoms");
+    }
+  }
+  for (int a = 0; a < n; ++a) {
+    if (active[a]) tree.root = a;
+  }
+  tree.removal_order.push_back(tree.root);
+  return tree;
+}
+
+}  // namespace planorder::anyk

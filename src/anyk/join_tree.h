@@ -1,0 +1,48 @@
+#ifndef PLANORDER_ANYK_JOIN_TREE_H_
+#define PLANORDER_ANYK_JOIN_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/conjunctive_query.h"
+
+namespace planorder::anyk {
+
+/// One node of a join tree: a body atom plus its connection to the parent.
+struct JoinTreeNode {
+  /// Index of this node's atom in the query body (node id == atom index).
+  int atom = 0;
+  /// Parent node id, or -1 for the root.
+  int parent = -1;
+  std::vector<int> children;
+  /// The variables this node's subtree shares with the rest of the tree, in
+  /// sorted order — the join key against the parent (empty = Cartesian
+  /// product edge). By the running-intersection property every such variable
+  /// also occurs in the parent atom.
+  std::vector<std::string> join_vars;
+};
+
+/// A join tree over the body of an acyclic conjunctive query, built by GYO
+/// ear removal. Node ids equal body-atom indices; `removal_order` lists the
+/// nodes children-before-parents (the ear-removal sequence), so a bottom-up
+/// DP can process it front to back. Queries whose bodies span several
+/// connected components are joined by Cartesian-product edges (empty
+/// join_vars) into a single tree, deterministically.
+struct JoinTree {
+  int root = 0;
+  std::vector<JoinTreeNode> nodes;
+  std::vector<int> removal_order;
+};
+
+/// Builds the join tree of `query`'s body, or kFailedPrecondition when the
+/// query is cyclic (no ear removable; the any-k executor then does not
+/// apply). Deterministic: atoms are scanned in body order and the first
+/// removable ear / first qualifying witness wins. Fails with
+/// kInvalidArgument on an empty body and kUnimplemented on interpreted
+/// comparison atoms.
+StatusOr<JoinTree> BuildJoinTree(const datalog::ConjunctiveQuery& query);
+
+}  // namespace planorder::anyk
+
+#endif  // PLANORDER_ANYK_JOIN_TREE_H_

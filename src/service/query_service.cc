@@ -120,9 +120,32 @@ StatusOr<QueryService::ReformulationOutcome> QueryService::Reformulate(
   return ReformulationOutcome{std::move(fresh), false};
 }
 
-StatusOr<std::unique_ptr<Session>> QueryService::OpenSession(
-    const datalog::ConjunctiveQuery& query,
-    const exec::Mediator::RunLimits& limits) {
+Status QueryService::SetUpOrdering(Session& session) {
+  const stats::Workload* workload = &session.reformulation_->workload;
+  session.model_ = std::make_unique<utility::CoverageModel>(workload);
+  std::vector<core::PlanSpace> spaces = {core::PlanSpace::FullSpace(*workload)};
+  switch (options_.orderer) {
+    case ServiceOptions::OrdererKind::kStreamer: {
+      PLANORDER_ASSIGN_OR_RETURN(
+          session.orderer_,
+          core::StreamerOrderer::Create(workload, session.model_.get(),
+                                        std::move(spaces)));
+      break;
+    }
+    case ServiceOptions::OrdererKind::kIDrips: {
+      PLANORDER_ASSIGN_OR_RETURN(
+          session.orderer_,
+          core::IDripsOrderer::Create(workload, session.model_.get(),
+                                      std::move(spaces)));
+      break;
+    }
+  }
+  if (eval_pool_ != nullptr) session.orderer_->set_eval_pool(eval_pool_.get());
+  return OkStatus();
+}
+
+StatusOr<std::unique_ptr<Session>> QueryService::PrepareSession(
+    const datalog::ConjunctiveQuery& query) {
   PLANORDER_RETURN_IF_ERROR(Admit());
   auto reformed = Reformulate(query);
   if (!reformed.ok()) {
@@ -133,27 +156,15 @@ StatusOr<std::unique_ptr<Session>> QueryService::OpenSession(
   // and ~Session releases.
   std::unique_ptr<Session> session(
       new Session(this, std::move(reformed->entry), reformed->hit));
+  PLANORDER_RETURN_IF_ERROR(SetUpOrdering(*session));
+  return session;
+}
 
-  const stats::Workload* workload = &session->reformulation_->workload;
-  session->model_ = std::make_unique<utility::CoverageModel>(workload);
-  std::vector<core::PlanSpace> spaces = {core::PlanSpace::FullSpace(*workload)};
-  switch (options_.orderer) {
-    case ServiceOptions::OrdererKind::kStreamer: {
-      PLANORDER_ASSIGN_OR_RETURN(
-          session->orderer_,
-          core::StreamerOrderer::Create(workload, session->model_.get(),
-                                        std::move(spaces)));
-      break;
-    }
-    case ServiceOptions::OrdererKind::kIDrips: {
-      PLANORDER_ASSIGN_OR_RETURN(
-          session->orderer_,
-          core::IDripsOrderer::Create(workload, session->model_.get(),
-                                      std::move(spaces)));
-      break;
-    }
-  }
-  if (eval_pool_ != nullptr) session->orderer_->set_eval_pool(eval_pool_.get());
+StatusOr<std::unique_ptr<Session>> QueryService::OpenSession(
+    const datalog::ConjunctiveQuery& query,
+    const exec::Mediator::RunLimits& limits) {
+  PLANORDER_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                             PrepareSession(query));
   session->mediator_ = std::make_unique<exec::Mediator>(
       catalog_, session->reformulation_->canonical.query, source_facts_,
       session->reformulation_->buckets.buckets);
@@ -161,6 +172,24 @@ StatusOr<std::unique_ptr<Session>> QueryService::OpenSession(
       exec::MediatorStream stream,
       session->mediator_->OpenStream(*session->orderer_, limits, *executor_));
   session->stream_.emplace(std::move(stream));
+  return session;
+}
+
+StatusOr<std::unique_ptr<Session>> QueryService::OpenRankedSession(
+    const datalog::ConjunctiveQuery& query,
+    const anyk::RankedAnswerStream::Options& options) {
+  PLANORDER_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                             PrepareSession(query));
+  // Ranked mode always evaluates set-oriented against the source facts: the
+  // any-k DP needs the admissible tuples of every body atom, not a dependent
+  // join's reachable slice.
+  PLANORDER_ASSIGN_OR_RETURN(
+      anyk::RankedAnswerStream stream,
+      anyk::RankedAnswerStream::Open(
+          *catalog_, session->reformulation_->canonical.query, *source_facts_,
+          session->reformulation_->buckets.buckets, *session->orderer_,
+          options));
+  session->ranked_.emplace(std::move(stream));
   return session;
 }
 

@@ -83,6 +83,16 @@ class QueryService {
       const datalog::ConjunctiveQuery& query,
       const exec::Mediator::RunLimits& limits);
 
+  /// As OpenSession, but in ranked mode: the session's plan ordering feeds
+  /// an any-k ranked answer stream (src/anyk/) instead of the per-plan step
+  /// stream — NextRankedAnswer() yields the union of the sound plans'
+  /// answers best-weight-first with duplicates suppressed, without
+  /// materializing any plan's full join. Admission, the reformulation cache
+  /// and the orderer choice are shared with plan-mode sessions.
+  StatusOr<std::unique_ptr<Session>> OpenRankedSession(
+      const datalog::ConjunctiveQuery& query,
+      const anyk::RankedAnswerStream::Options& options);
+
   /// Convenience: open a session, drain it, Finish. What a non-interactive
   /// client does.
   StatusOr<exec::MediatorResult> RunQuery(
@@ -112,6 +122,15 @@ class QueryService {
     bool hit = false;
   };
   StatusOr<ReformulationOutcome> Reformulate(
+      const datalog::ConjunctiveQuery& query);
+
+  /// Builds `session`'s utility model and orderer over its (cached, shared)
+  /// reformulation, per options_.orderer, and wires in the shared eval pool.
+  Status SetUpOrdering(Session& session);
+
+  /// Admission + reformulation + ordering — everything shared between plan
+  /// and ranked sessions. On success the returned session owns its slot.
+  StatusOr<std::unique_ptr<Session>> PrepareSession(
       const datalog::ConjunctiveQuery& query);
 
   const datalog::Catalog* catalog_;

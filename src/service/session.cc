@@ -23,16 +23,29 @@ StatusOr<exec::MediatorStep> Session::NextStep() {
   return stream_->NextStep();
 }
 
+StatusOr<anyk::RankedAnswer> Session::NextRankedAnswer() {
+  if (finished_ || !ranked_.has_value()) {
+    return NotFoundError("session has no open ranked stream");
+  }
+  return ranked_->Next();
+}
+
 exec::MediatorResult Session::Finish() {
   if (finished_) return {};
   finished_ = true;
   exec::MediatorResult result;
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - admitted_at_)
+          .count();
   if (stream_.has_value()) {
     result = stream_->TakeResult();
-    const double elapsed_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - admitted_at_)
-            .count();
+    service_->OnSessionFinished(result, elapsed_ms);
+  } else if (ranked_.has_value()) {
+    // Ranked sessions fold into the same service metrics: the emitted
+    // distinct answers and the sound-plan count are directly comparable.
+    result.total_answers = ranked_->stats().answers_emitted;
+    result.sound_plans = ranked_->stats().sound_plans;
     service_->OnSessionFinished(result, elapsed_ms);
   }
   // A session that never received its stream (service-side construction

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "anyk/ranked_stream.h"
 #include "base/status.h"
 #include "core/orderer.h"
 #include "exec/mediator.h"
@@ -36,8 +37,23 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   /// Advances the run by one plan. kNotFound = run over (orderer exhausted
-  /// or a RunLimits criterion tripped) — not an error.
+  /// or a RunLimits criterion tripped) — not an error. Plan-mode sessions
+  /// only (kNotFound on ranked sessions).
   StatusOr<exec::MediatorStep> NextStep();
+
+  /// Ranked-mode sessions (QueryService::OpenRankedSession): the
+  /// best-weighted answer not yet emitted, duplicates suppressed across all
+  /// sound plans. kNotFound = ranked enumeration exhausted (or this is not a
+  /// ranked session) — not an error.
+  StatusOr<anyk::RankedAnswer> NextRankedAnswer();
+
+  /// True for sessions opened in ranked mode.
+  bool ranked() const { return ranked_.has_value(); }
+
+  /// Ranked-mode accounting so far; nullptr on plan-mode sessions.
+  const anyk::RankedAnswerStream::Stats* ranked_stats() const {
+    return ranked_.has_value() ? &ranked_->stats() : nullptr;
+  }
 
   /// Ends the session: returns the accumulated MediatorResult, records the
   /// session's latency and runtime accounting into the service metrics, and
@@ -79,6 +95,7 @@ class Session {
   std::unique_ptr<core::Orderer> orderer_;
   std::unique_ptr<exec::Mediator> mediator_;
   std::optional<exec::MediatorStream> stream_;
+  std::optional<anyk::RankedAnswerStream> ranked_;
   std::chrono::steady_clock::time_point admitted_at_;
   bool finished_ = false;
 };

@@ -200,6 +200,15 @@ Status RunScenario(const Scenario& scenario, const SimOptions& options,
     ++local.checks;
   }
 
+  if (scenario.check_ranked) {
+    Status status = CheckRankedEmission(scenario, options.max_oracle_plans);
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "check=ranked: " + std::string(status.message()));
+    }
+    ++local.checks;
+  }
+
   if (report != nullptr) report->Merge(local);
   return OkStatus();
 }

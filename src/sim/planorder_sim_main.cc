@@ -42,6 +42,8 @@ struct Flags {
   std::string corpus;       // file of "seed:step" lines
   std::string artifact;     // where to write the minimized scenario
   std::vector<int> threads;  // overrides scenario thread counts
+  std::string anyk;         // "", "force" (ranked check on everywhere),
+                            // or "only" (ranked check alone)
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -77,6 +79,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       while (std::getline(stream, item, ',')) {
         if (!item.empty()) flags->threads.push_back(std::stoi(item));
       }
+    } else if (ParseFlag(arg, "anyk", &value)) {
+      if (value != "force" && value != "only") {
+        std::cerr << "--anyk wants 'force' or 'only', got '" << value
+                  << "'\n";
+        return false;
+      }
+      flags->anyk = value;
     } else if (arg == "--no-shrink") {
       flags->shrink = false;
     } else if (arg == "--verbose") {
@@ -99,6 +108,9 @@ void Usage() {
          "  --iters=N           scenarios to run (default 100)\n"
          "  --start=K           first sweep step (default 0)\n"
          "  --threads=a,b       override scenario eval-thread counts\n"
+         "  --anyk=force|only   force the ranked (any-k) check on in every\n"
+         "                      scenario; 'only' also turns every other\n"
+         "                      check off (the CI ranked slice)\n"
          "  --replay=SEED:STEP  replay one sweep step\n"
          "  --replay-file=PATH  run a serialized (e.g. shrunk) scenario\n"
          "  --corpus=PATH       run every SEED:STEP line of a corpus file\n"
@@ -147,6 +159,14 @@ int Main(int argc, char** argv) {
 
   auto apply_overrides = [&flags](Scenario scenario) {
     if (!flags.threads.empty()) scenario.thread_counts = flags.threads;
+    if (!flags.anyk.empty()) {
+      scenario.check_ranked = true;
+      if (flags.anyk == "only") {
+        // Ranked check alone: no (measure, algo) sweeps, no runtime check.
+        scenario.measures.clear();
+        scenario.check_runtime = false;
+      }
+    }
     return scenario;
   };
 

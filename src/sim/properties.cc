@@ -6,12 +6,16 @@
 #include <utility>
 #include <vector>
 
+#include "anyk/brute_force.h"
+#include "anyk/ranked_stream.h"
 #include "base/rng.h"
 #include "core/pi.h"
 #include "core/plan_space.h"
 #include "exec/mediator.h"
 #include "exec/source_access.h"
 #include "exec/synthetic_domain.h"
+#include "reformulation/executable_order.h"
+#include "reformulation/rewriting.h"
 #include "runtime/clock.h"
 #include "runtime/retry_policy.h"
 #include "runtime/source_runtime.h"
@@ -443,6 +447,173 @@ Status CheckRuntimeEquivalence(const Scenario& scenario) {
           << second.runtime.latency_ms_total;
       return InternalError(out.str());
     }
+  }
+  return OkStatus();
+}
+
+namespace {
+
+std::string AnswerToString(const anyk::RankedAnswer& answer) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "(";
+  for (size_t i = 0; i < answer.tuple.size(); ++i) {
+    if (i > 0) out << ",";
+    out << answer.tuple[i].ToString();
+  }
+  out << ") w=" << answer.weight;
+  return out.str();
+}
+
+/// Element-wise byte equality of two ranked sequences (weights compare as
+/// exact bits — the dyadic-rational contract makes that meaningful).
+Status CompareRankedSequences(const std::vector<anyk::RankedAnswer>& reference,
+                              const std::vector<anyk::RankedAnswer>& run,
+                              const std::string& label) {
+  if (run.size() != reference.size()) {
+    std::ostringstream out;
+    out << label << ": " << run.size() << " ranked answers vs "
+        << reference.size() << " in the reference";
+    return InternalError(out.str());
+  }
+  for (size_t i = 0; i < run.size(); ++i) {
+    if (!(run[i] == reference[i])) {
+      return InternalError(label + ": ranked emission diverged at position " +
+                           std::to_string(i) + ": reference " +
+                           AnswerToString(reference[i]) + ", run " +
+                           AnswerToString(run[i]));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status CheckRankedEmission(const Scenario& scenario,
+                           uint64_t max_oracle_plans) {
+  if (scenario.NumPlans() > max_oracle_plans) return OkStatus();
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<exec::SyntheticDomain> domain,
+      exec::BuildSyntheticDomain(scenario.MakeWorkloadOptions(),
+                                 scenario.num_answers));
+
+  anyk::RankedAnswerStream::Options options;
+  options.weights.seed = scenario.weights_seed;
+  options.weights.aggregation = scenario.ranked_aggregation;
+  // Full plan budget: the stream's answer set must be the whole union, which
+  // is what makes it comparable against the sort-everything oracle.
+  options.max_plans = int(scenario.NumPlans());
+
+  auto run = [&](const std::vector<std::vector<datalog::SourceId>>& ids,
+                 const anyk::WeightOptions& weights, runtime::ThreadPool* pool)
+      -> StatusOr<std::vector<anyk::RankedAnswer>> {
+    PLANORDER_ASSIGN_OR_RETURN(
+        std::unique_ptr<utility::UtilityModel> model,
+        utility::MakeMeasure(utility::MeasureKind::kCoverage,
+                             &domain->workload));
+    PLANORDER_ASSIGN_OR_RETURN(
+        std::unique_ptr<core::Orderer> orderer,
+        MakeOrderer(AlgoKind::kIDrips, &domain->workload, model.get(),
+                    /*probe_lower_bounds=*/false));
+    if (pool != nullptr) orderer->set_eval_pool(pool);
+    anyk::RankedAnswerStream::Options run_options = options;
+    run_options.weights = weights;
+    PLANORDER_ASSIGN_OR_RETURN(
+        anyk::RankedAnswerStream stream,
+        anyk::RankedAnswerStream::Open(domain->catalog, domain->query,
+                                       domain->source_facts, ids, *orderer,
+                                       run_options));
+    std::vector<anyk::RankedAnswer> answers;
+    while (true) {
+      auto next = stream.Next();
+      if (!next.ok()) {
+        if (next.status().code() == StatusCode::kNotFound) break;
+        return next.status();
+      }
+      answers.push_back(*std::move(next));
+    }
+    return answers;
+  };
+
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::vector<anyk::RankedAnswer> streamed,
+      run(domain->source_ids, options.weights, /*pool=*/nullptr));
+
+  // (a) The sort-everything oracle: every sound, executable rewriting of the
+  // full Cartesian product, materialized by an independent backtracking join
+  // and globally sorted. Plan order plays no role here at all.
+  std::vector<datalog::ConjunctiveQuery> rewritings;
+  const size_t num_buckets = domain->source_ids.size();
+  std::vector<size_t> odometer(num_buckets, 0);
+  while (true) {
+    std::vector<datalog::SourceId> choice(num_buckets);
+    for (size_t b = 0; b < num_buckets; ++b) {
+      choice[b] = domain->source_ids[b][odometer[b]];
+    }
+    PLANORDER_ASSIGN_OR_RETURN(
+        auto plan,
+        reformulation::BuildSoundPlan(domain->query, domain->catalog, choice));
+    if (plan.has_value()) {
+      auto ordered = reformulation::FindExecutableOrder(*plan,
+                                                        domain->catalog);
+      if (ordered.ok()) {
+        rewritings.push_back((*plan).rewriting);
+      } else if (ordered.status().code() != StatusCode::kFailedPrecondition) {
+        return ordered.status();
+      }
+    }
+    size_t b = 0;
+    for (; b < num_buckets; ++b) {
+      if (++odometer[b] < domain->source_ids[b].size()) break;
+      odometer[b] = 0;
+    }
+    if (b == num_buckets) break;
+  }
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::vector<anyk::RankedAnswer> oracle,
+      anyk::BruteForceRankedUnion(rewritings, domain->source_facts,
+                                  options.weights));
+  PLANORDER_RETURN_IF_ERROR(
+      CompareRankedSequences(oracle, streamed, "ranked-oracle"));
+
+  // (b) Monotone transform: scaling the tuple weights by a power of two is
+  // exact, so every emission weight scales by exactly that factor and the
+  // order does not budge.
+  anyk::WeightOptions scaled = options.weights;
+  scaled.scale = 4.0;
+  PLANORDER_ASSIGN_OR_RETURN(std::vector<anyk::RankedAnswer> transformed,
+                             run(domain->source_ids, scaled, /*pool=*/nullptr));
+  std::vector<anyk::RankedAnswer> expected = streamed;
+  for (anyk::RankedAnswer& answer : expected) answer.weight *= 4.0;
+  PLANORDER_RETURN_IF_ERROR(
+      CompareRankedSequences(expected, transformed, "ranked-monotone(x4)"));
+
+  // (c) Relabeling invariance: weights are content hashes, so permuting each
+  // bucket's sources permutes only which plan finds which witness — the
+  // ranked union is untouched.
+  Rng rng(runtime::MixHash(scenario.weights_seed ^ 0x524e4b44ull));
+  std::vector<std::vector<datalog::SourceId>> permuted = domain->source_ids;
+  for (std::vector<datalog::SourceId>& bucket : permuted) {
+    for (size_t i = bucket.size(); i > 1; --i) {
+      std::swap(bucket[i - 1], bucket[rng.UniformInt(0, int64_t(i) - 1)]);
+    }
+  }
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::vector<anyk::RankedAnswer> relabeled,
+      run(permuted, options.weights, /*pool=*/nullptr));
+  PLANORDER_RETURN_IF_ERROR(
+      CompareRankedSequences(streamed, relabeled, "ranked-relabel"));
+
+  // (d) Serial == parallel: a shared evaluation pool may reorder utility
+  // computation, never ranked emission.
+  for (int threads : scenario.thread_counts) {
+    runtime::ThreadPool pool(threads);
+    PLANORDER_ASSIGN_OR_RETURN(std::vector<anyk::RankedAnswer> parallel,
+                               run(domain->source_ids, options.weights,
+                                   &pool));
+    PLANORDER_RETURN_IF_ERROR(CompareRankedSequences(
+        streamed, parallel,
+        "ranked-parallel(threads=" + std::to_string(threads) + ")"));
   }
   return OkStatus();
 }

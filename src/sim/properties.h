@@ -102,6 +102,23 @@ Status CheckParallelAgreement(const stats::Workload& workload,
 /// accumulation commutes).
 Status CheckRuntimeEquivalence(const Scenario& scenario);
 
+/// Ranked-enumeration differential check (src/anyk/). Builds the scenario's
+/// synthetic domain and streams its weighted answers through
+/// anyk::RankedAnswerStream (IDrips plan order, full plan budget), then
+/// demands, all byte-identical:
+///  (a) the streamed sequence equals the brute-force oracle — every sound,
+///      executable rewriting of the full Cartesian product materialized and
+///      sorted (weight desc, tuple lex asc), duplicates keeping max weight;
+///  (b) scaling every tuple weight by a power of two scales every emission
+///      weight by exactly that factor without reordering anything;
+///  (c) relabeling (permuting each bucket's sources) changes nothing;
+///  (d) re-running with a shared evaluation pool at every scenario thread
+///      count reproduces the serial emission sequence.
+/// Scenarios whose full space exceeds `max_oracle_plans` are skipped (the
+/// oracle is exponential).
+Status CheckRankedEmission(const Scenario& scenario,
+                           uint64_t max_oracle_plans);
+
 }  // namespace planorder::sim
 
 #endif  // PLANORDER_SIM_PROPERTIES_H_

@@ -116,7 +116,8 @@ std::string Scenario::Summary() const {
       << " measures=" << measures.size() << " algos=" << algos.size()
       << " threads=" << JoinInts(thread_counts)
       << " probes=" << (probe_lower_bounds ? 1 : 0)
-      << " runtime=" << (check_runtime ? 1 : 0);
+      << " runtime=" << (check_runtime ? 1 : 0)
+      << " ranked=" << (check_ranked ? 1 : 0);
   return out.str();
 }
 
@@ -143,7 +144,10 @@ std::string Scenario::Serialize() const {
   out << " check_oracle=" << (check_oracle ? 1 : 0)
       << " check_monotone=" << (check_monotone ? 1 : 0)
       << " check_relabel=" << (check_relabel ? 1 : 0)
-      << " check_runtime=" << (check_runtime ? 1 : 0);
+      << " check_runtime=" << (check_runtime ? 1 : 0)
+      << " check_ranked=" << (check_ranked ? 1 : 0);
+  out << " weights_seed=" << weights_seed
+      << " ranked_aggregation=" << anyk::AggregationName(ranked_aggregation);
   out << " num_answers=" << num_answers << " runtime_seed=" << runtime_seed;
   out << " base_latency_ms=" << base_latency_ms
       << " per_binding_latency_ms=" << per_binding_latency_ms
@@ -222,6 +226,13 @@ StatusOr<Scenario> Scenario::Deserialize(const std::string& line) {
         s.check_relabel = value != "0";
       } else if (key == "check_runtime") {
         s.check_runtime = value != "0";
+      } else if (key == "check_ranked") {
+        s.check_ranked = value != "0";
+      } else if (key == "weights_seed") {
+        s.weights_seed = std::stoull(value);
+      } else if (key == "ranked_aggregation") {
+        PLANORDER_ASSIGN_OR_RETURN(s.ranked_aggregation,
+                                   anyk::AggregationFromName(value));
       } else if (key == "num_answers") {
         s.num_answers = std::stoi(value);
       } else if (key == "runtime_seed") {
@@ -293,6 +304,11 @@ Scenario MakeScenario(uint64_t base_seed, int step) {
   s.transient_failure_rate = rng.UniformReal(0.0, 0.35);
   s.hedge_delay_ms = rng.Bernoulli(0.3) ? rng.UniformReal(1.0, 10.0) : 0.0;
   s.retry_max_attempts = 64;
+
+  s.check_ranked = rng.Bernoulli(0.5);
+  s.weights_seed = rng.engine()();
+  s.ranked_aggregation = rng.Bernoulli(0.5) ? anyk::Aggregation::kSum
+                                            : anyk::Aggregation::kMax;
   return s;
 }
 

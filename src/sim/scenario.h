@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "anyk/weights.h"
 #include "base/status.h"
 #include "runtime/remote_source.h"
 #include "stats/workload.h"
@@ -65,6 +66,16 @@ struct Scenario {
   bool check_monotone = true;
   bool check_relabel = true;
   bool check_runtime = true;
+  /// Ranked (any-k) differential check: stream the weighted answers of the
+  /// scenario's synthetic domain through anyk::RankedAnswerStream and demand
+  /// byte-identical output to the brute-force sort-all oracle, plus the
+  /// ranked metamorphic properties (monotone weight transform, relabeling,
+  /// serial == parallel).
+  bool check_ranked = false;
+
+  // --- Ranked-enumeration knobs (check_ranked) ---
+  uint64_t weights_seed = 1;
+  anyk::Aggregation ranked_aggregation = anyk::Aggregation::kSum;
 
   // --- Runtime fault/latency schedule (check_runtime) ---
   int num_answers = 100;

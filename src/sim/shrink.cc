@@ -48,6 +48,9 @@ class Shrinker {
       return s.check_runtime;
     });
     changed |= DisableFlag([](Scenario& s) -> bool& {
+      return s.check_ranked;
+    });
+    changed |= DisableFlag([](Scenario& s) -> bool& {
       return s.check_monotone;
     });
     changed |= DisableFlag([](Scenario& s) -> bool& {

@@ -1,0 +1,210 @@
+/// Unit tests of the any-k enumerator: non-increasing emission, agreement
+/// with the brute-force oracle on hand-built and randomized facts, the
+/// semi-join pruning, and the error contract on cyclic / comparison queries.
+
+#include "anyk/executor.h"
+
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "anyk/brute_force.h"
+#include "anyk/weights.h"
+#include "datalog/parser.h"
+#include "test_util.h"
+
+namespace planorder::anyk {
+namespace {
+
+datalog::Atom MustParseAtom(const std::string& text) {
+  auto atom = datalog::ParseAtom(text);
+  EXPECT_TRUE(atom.ok()) << atom.status();
+  return *atom;
+}
+
+datalog::ConjunctiveQuery MustParseRule(const std::string& text) {
+  auto rule = datalog::ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status();
+  return *rule;
+}
+
+/// Drains the enumerator, checking the weights never increase, and folds the
+/// witnesses into answer -> best weight (first occurrence wins, which the
+/// emission contract says is the best).
+std::map<std::vector<datalog::Term>, double> DrainToBestWeights(
+    AnyKEnumerator& enumerator) {
+  std::map<std::vector<datalog::Term>, double> best;
+  double previous = std::numeric_limits<double>::infinity();
+  while (true) {
+    auto next = enumerator.Next();
+    if (!next.ok()) {
+      EXPECT_EQ(next.status().code(), StatusCode::kNotFound) << next.status();
+      break;
+    }
+    EXPECT_LE(next->weight, previous) << "emission weight increased";
+    previous = next->weight;
+    best.emplace(next->tuple, next->weight);  // first occurrence only
+  }
+  return best;
+}
+
+std::map<std::vector<datalog::Term>, double> ToBestWeights(
+    const std::vector<RankedAnswer>& answers) {
+  std::map<std::vector<datalog::Term>, double> best;
+  for (const RankedAnswer& answer : answers) {
+    best.emplace(answer.tuple, answer.weight);
+  }
+  return best;
+}
+
+TEST(AnyKExecutorTest, ChainJoinMatchesBruteForce) {
+  datalog::Database facts;
+  for (const char* text : {"p(a,b)", "p(a,c)", "p(d,b)", "r(b,x)", "r(b,y)",
+                           "r(c,x)", "r(z,z)"}) {
+    facts.AddFact(MustParseAtom(text));
+  }
+  const auto query = MustParseRule("q(A,C) :- p(A,B), r(B,C)");
+  for (Aggregation aggregation : {Aggregation::kSum, Aggregation::kMax}) {
+    WeightOptions options;
+    options.seed = 7;
+    options.aggregation = aggregation;
+    auto enumerator = AnyKEnumerator::Create(query, facts, options);
+    ASSERT_TRUE(enumerator.ok()) << enumerator.status();
+    auto oracle = BruteForceRankedAnswers(query, facts, options);
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+    EXPECT_EQ(DrainToBestWeights(**enumerator), ToBestWeights(*oracle))
+        << AggregationName(aggregation);
+  }
+}
+
+TEST(AnyKExecutorTest, ConstantsAndRepeatedVariablesFilterRows) {
+  datalog::Database facts;
+  for (const char* text :
+       {"p(a,a)", "p(a,b)", "p(b,b)", "r(a,k)", "r(b,k)", "r(b,m)"}) {
+    facts.AddFact(MustParseAtom(text));
+  }
+  // Only rows with X = X survive the self-join filter, and r is pinned to
+  // the constant k.
+  const auto query = MustParseRule("q(X,C) :- p(X,X), r(X,C)");
+  WeightOptions options;
+  auto enumerator = AnyKEnumerator::Create(query, facts, options);
+  ASSERT_TRUE(enumerator.ok()) << enumerator.status();
+  auto oracle = BruteForceRankedAnswers(query, facts, options);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  const auto best = DrainToBestWeights(**enumerator);
+  EXPECT_EQ(best, ToBestWeights(*oracle));
+  EXPECT_EQ(best.size(), 3u);  // (a,k), (b,k), (b,m)
+}
+
+TEST(AnyKExecutorTest, EmptyJoinExhaustsImmediately) {
+  datalog::Database facts;
+  facts.AddFact(MustParseAtom("p(a,b)"));
+  facts.AddFact(MustParseAtom("r(c,d)"));  // no join partner for b
+  const auto query = MustParseRule("q(A,C) :- p(A,B), r(B,C)");
+  WeightOptions options;
+  auto enumerator = AnyKEnumerator::Create(query, facts, options);
+  ASSERT_TRUE(enumerator.ok()) << enumerator.status();
+  EXPECT_EQ((*enumerator)->Peek(), nullptr);
+  auto next = (*enumerator)->Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AnyKExecutorTest, PeekIsStableAndMatchesNext) {
+  datalog::Database facts;
+  for (const char* text : {"p(a,b)", "p(c,b)", "r(b,x)", "r(b,y)"}) {
+    facts.AddFact(MustParseAtom(text));
+  }
+  const auto query = MustParseRule("q(A,C) :- p(A,B), r(B,C)");
+  WeightOptions options;
+  auto enumerator = AnyKEnumerator::Create(query, facts, options);
+  ASSERT_TRUE(enumerator.ok()) << enumerator.status();
+  while (true) {
+    const RankedAnswer* peeked = (*enumerator)->Peek();
+    if (peeked == nullptr) break;
+    const RankedAnswer copy = *peeked;
+    EXPECT_EQ(*(*enumerator)->Peek(), copy);  // repeated peek: same answer
+    auto next = (*enumerator)->Next();
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(*next, copy);
+  }
+  EXPECT_EQ((*enumerator)->witnesses_emitted(), 4u);  // 2 x 2 witnesses
+}
+
+TEST(AnyKExecutorTest, CyclicQueryIsRejected) {
+  datalog::Database facts;
+  const auto query = MustParseRule("q(A) :- p(A,B), r(B,C), s(C,A)");
+  WeightOptions options;
+  auto enumerator = AnyKEnumerator::Create(query, facts, options);
+  ASSERT_FALSE(enumerator.ok());
+  EXPECT_EQ(enumerator.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AnyKExecutorTest, ComparisonAtomsAreUnimplemented) {
+  datalog::Database facts;
+  const auto query = MustParseRule("q(A,B) :- p(A,B), lt(A,B)");
+  WeightOptions options;
+  auto enumerator = AnyKEnumerator::Create(query, facts, options);
+  ASSERT_FALSE(enumerator.ok());
+  EXPECT_EQ(enumerator.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(AnyKExecutorTest, RandomizedStarJoinsMatchBruteForce) {
+  // Star query q(A,B,C) :- e(H,A), f(H,B), g(H,C) over random small domains:
+  // every draw must agree with the oracle under both aggregations.
+  const auto query = MustParseRule("q(A,B,C) :- e(H,A), f(H,B), g(H,C)");
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    test::SeededScenario scenario("anyk_executor_test", seed);
+    std::mt19937_64& rng = scenario.rng();
+    datalog::Database facts;
+    const char* predicates[] = {"e", "f", "g"};
+    for (const char* predicate : predicates) {
+      const int tuples = 3 + int(rng() % 12);
+      for (int t = 0; t < tuples; ++t) {
+        facts.AddFact(MustParseAtom(
+            std::string(predicate) + "(h" + std::to_string(rng() % 4) +
+            ",v" + std::to_string(rng() % 6) + ")"));
+      }
+    }
+    for (Aggregation aggregation : {Aggregation::kSum, Aggregation::kMax}) {
+      WeightOptions options;
+      options.seed = seed * 31;
+      options.aggregation = aggregation;
+      auto enumerator = AnyKEnumerator::Create(query, facts, options);
+      ASSERT_TRUE(enumerator.ok()) << enumerator.status();
+      auto oracle = BruteForceRankedAnswers(query, facts, options);
+      ASSERT_TRUE(oracle.ok()) << oracle.status();
+      EXPECT_EQ(DrainToBestWeights(**enumerator), ToBestWeights(*oracle))
+          << AggregationName(aggregation);
+    }
+  }
+}
+
+TEST(AnyKExecutorTest, PowerOfTwoScaleIsExact) {
+  datalog::Database facts;
+  for (const char* text : {"p(a,b)", "p(c,b)", "r(b,x)", "r(b,y)"}) {
+    facts.AddFact(MustParseAtom(text));
+  }
+  const auto query = MustParseRule("q(A,C) :- p(A,B), r(B,C)");
+  WeightOptions options;
+  auto base = AnyKEnumerator::Create(query, facts, options);
+  ASSERT_TRUE(base.ok());
+  WeightOptions scaled_options = options;
+  scaled_options.scale = 8.0;
+  auto scaled = AnyKEnumerator::Create(query, facts, scaled_options);
+  ASSERT_TRUE(scaled.ok());
+  while (true) {
+    auto a = (*base)->Next();
+    auto b = (*scaled)->Next();
+    ASSERT_EQ(a.ok(), b.ok());
+    if (!a.ok()) break;
+    EXPECT_EQ(a->tuple, b->tuple);
+    EXPECT_EQ(a->weight * 8.0, b->weight);  // bit-exact, not approximate
+  }
+}
+
+}  // namespace
+}  // namespace planorder::anyk
