@@ -17,7 +17,6 @@
 ///        [--weights-seed=S]
 
 #include <algorithm>
-#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -67,7 +66,7 @@ struct TimedRun {
 /// smaller); k <= 0 drains the stream completely.
 TimedRun TimeAnyK(const exec::SyntheticDomain& domain,
                   const anyk::WeightOptions& weights, int max_plans, int k) {
-  const auto start = std::chrono::steady_clock::now();
+  const double start_ms = NowWallMs();
   anyk::RankedAnswerStream stream = OpenStream(domain, weights, max_plans);
   TimedRun run;
   while (k <= 0 || run.answers < size_t(k)) {
@@ -80,8 +79,7 @@ TimedRun TimeAnyK(const exec::SyntheticDomain& domain,
     benchmark::DoNotOptimize(next->weight);
     ++run.answers;
   }
-  const auto stop = std::chrono::steady_clock::now();
-  run.ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  run.ms = NowWallMs() - start_ms;
   return run;
 }
 
@@ -91,7 +89,7 @@ TimedRun TimeAnyK(const exec::SyntheticDomain& domain,
 /// the baseline, too, starts from the raw query.
 TimedRun TimeSortAll(const exec::SyntheticDomain& domain,
                      const anyk::WeightOptions& weights) {
-  const auto start = std::chrono::steady_clock::now();
+  const double start_ms = NowWallMs();
   std::vector<datalog::ConjunctiveQuery> rewritings;
   const size_t num_buckets = domain.source_ids.size();
   std::vector<size_t> odometer(num_buckets, 0);
@@ -125,9 +123,8 @@ TimedRun TimeSortAll(const exec::SyntheticDomain& domain,
                                          weights);
   PLANORDER_CHECK(all.ok()) << all.status();
   benchmark::DoNotOptimize(all->data());
-  const auto stop = std::chrono::steady_clock::now();
   TimedRun run;
-  run.ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  run.ms = NowWallMs() - start_ms;
   run.answers = all->size();
   return run;
 }

@@ -14,7 +14,6 @@
 /// 2,4,8); wall-clock per configuration is the best of R runs (default 3).
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -51,7 +50,7 @@ RunResult RunIDrips(const stats::Workload& workload, bool persistent,
   // every configuration performs the identical evaluation sequence.
   options.refine_width = 32;
   RunResult result;
-  const auto start = std::chrono::steady_clock::now();
+  const double start_ms = NowWallMs();
   auto orderer = core::IDripsOrderer::Create(
       &workload, model->get(), {core::PlanSpace::FullSpace(workload)},
       options);
@@ -66,8 +65,7 @@ RunResult RunIDrips(const stats::Workload& workload, bool persistent,
     }
     result.emissions.push_back(*next);
   }
-  const auto stop = std::chrono::steady_clock::now();
-  result.ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  result.ms = NowWallMs() - start_ms;
   result.evaluations = (*orderer)->plan_evaluations();
   return result;
 }

@@ -1,0 +1,148 @@
+#ifndef PLANORDER_BENCH_BENCH_FLAGS_H_
+#define PLANORDER_BENCH_BENCH_FLAGS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace planorder::bench {
+
+/// Shared command-line handling of the plain-main benchmarks (the ones that
+/// write a BENCH_*.json instead of going through the google-benchmark
+/// driver). Accepted forms:
+///   bench [output.json] [--threads=N[,M...]] [--repeats=R]
+///         [--k=K[,K2...]] [--weights-seed=S]
+/// The first non-flag argument is the output path; --threads sets the
+/// thread-count sweep, --repeats the per-point repetitions, --k the ranked
+/// answer-count sweep and --weights-seed the tuple-weight seed (the latter
+/// two consumed by bench_anyk, accepted everywhere). Every parse failure —
+/// unknown flag, malformed list, out-of-range value — aborts with the same
+/// full usage message so CI typos fail loudly and identically across all
+/// benches.
+struct BenchFlags {
+  std::string output;
+  std::vector<int> threads;
+  int repeats = 0;
+  /// Ranked-enumeration sweep: the k values of "time to the k-th answer".
+  std::vector<int> ks;
+  uint64_t weights_seed = 1;
+};
+
+/// The one usage string of every ParseBenchFlags error path. Listing the
+/// full flag set (including the PR-6 additions --k / --weights-seed) in one
+/// place keeps the message consistent across all benches and all failure
+/// modes.
+inline std::string BenchUsage(const char* argv0) {
+  return std::string("usage: ") + argv0 +
+         " [output.json] [--threads=N[,M...]] [--repeats=R]" +
+         " [--k=K[,K2...]] [--weights-seed=S]";
+}
+
+inline BenchFlags ParseBenchFlags(int argc, char** argv,
+                                  std::string default_output,
+                                  std::vector<int> default_threads = {},
+                                  int default_repeats = 0,
+                                  std::vector<int> default_ks = {}) {
+  BenchFlags flags;
+  flags.output = std::move(default_output);
+  flags.threads = std::move(default_threads);
+  flags.repeats = default_repeats;
+  flags.ks = std::move(default_ks);
+  const std::string usage = BenchUsage(argv[0]);
+  bool have_output = false;
+  // Every malformed value funnels through these CHECKs, so every error path
+  // — not just unknown flags — prints the full usage (a bare stoi would
+  // abort with an opaque exception instead).
+  auto parse_int = [&usage](const std::string& arg, const std::string& item) {
+    PLANORDER_CHECK(!item.empty() && item.size() <= 9 &&
+                    item.find_first_not_of("0123456789") == std::string::npos)
+        << usage << "; bad value in '" << arg << "'";
+    return std::stoi(item);
+  };
+  auto parse_int_list = [&usage, &parse_int](const std::string& arg,
+                                             size_t prefix_len,
+                                             std::vector<int>* out) {
+    out->clear();
+    std::string list = arg.substr(prefix_len);
+    size_t pos = 0;
+    while (pos < list.size()) {
+      const size_t comma = list.find(',', pos);
+      const std::string item =
+          list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      out->push_back(parse_int(arg, item));
+      PLANORDER_CHECK_GE(out->back(), 1)
+          << usage << "; bad value in '" << arg << "'";
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    PLANORDER_CHECK(!out->empty()) << usage << "; empty list in '" << arg << "'";
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      parse_int_list(arg, 10, &flags.threads);
+    } else if (arg.rfind("--k=", 0) == 0) {
+      parse_int_list(arg, 4, &flags.ks);
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      flags.repeats = parse_int(arg, arg.substr(10));
+      PLANORDER_CHECK_GE(flags.repeats, 1)
+          << usage << "; bad value in '" << arg << "'";
+    } else if (arg.rfind("--weights-seed=", 0) == 0) {
+      const std::string item = arg.substr(15);
+      PLANORDER_CHECK(!item.empty() && item.size() <= 19 &&
+                      item.find_first_not_of("0123456789") ==
+                          std::string::npos)
+          << usage << "; bad value in '" << arg << "'";
+      flags.weights_seed = std::stoull(item);
+    } else {
+      PLANORDER_CHECK(!arg.empty() && arg[0] != '-' && !have_output)
+          << usage << "; got '" << arg << "'";
+      flags.output = arg;
+      have_output = true;
+    }
+  }
+  return flags;
+}
+
+/// The "host" object every BENCH_*.json carries: the machine's hardware
+/// thread count plus the effective flag values of the run, so a benchmark
+/// artifact is self-describing when compared across CI runs.
+inline std::string HostMetadataJson(const BenchFlags& flags) {
+  auto int_list = [](const std::vector<int>& values) {
+    std::string out = "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(values[i]);
+    }
+    return out + "]";
+  };
+  std::string out = "{";
+  out += "\"hardware_threads\": " +
+         std::to_string(std::thread::hardware_concurrency());
+  out += ", \"repeats\": " + std::to_string(flags.repeats);
+  out += ", \"threads\": " + int_list(flags.threads);
+  out += ", \"k\": " + int_list(flags.ks);
+  out += ", \"weights_seed\": " + std::to_string(flags.weights_seed);
+  out += "}";
+  return out;
+}
+
+/// Wall-clock timestamp (milliseconds) for timing the benchmarks
+/// themselves. Benches measure real elapsed time by definition, so this is
+/// the one sanctioned wall-clock read outside runtime/clock.h — everything
+/// under src/ must charge time through runtime::Clock instead.
+inline double NowWallMs() {
+  return std::chrono::duration<double, std::milli>(
+             // detlint: allow(D1, benches measure real wall-clock time)
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace planorder::bench
+
+#endif  // PLANORDER_BENCH_BENCH_FLAGS_H_

@@ -12,7 +12,6 @@
 /// --threads sets the parallel thread counts swept against the serial run
 /// (default 4,8); --repeats takes the best of R runs per point (default 1).
 
-#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -75,12 +74,12 @@ double TimedRun(const exec::SyntheticDomain& d, exec::SourceRegistry& registry,
   runtime::SourceRuntime rt(&registry, options);
   exec::Mediator::RunLimits limits;
   limits.max_plans = kMaxPlans;
-  const auto start = std::chrono::steady_clock::now();
+  const double start_ms = NowWallMs();
   auto result = mediator.Run(**orderer, limits, rt);
-  const auto stop = std::chrono::steady_clock::now();
+  const double elapsed_ms = NowWallMs() - start_ms;
   PLANORDER_CHECK(result.ok()) << result.status();
   if (out != nullptr) *out = std::move(*result);
-  return std::chrono::duration<double, std::milli>(stop - start).count();
+  return elapsed_ms;
 }
 
 runtime::RuntimeOptions BaseOptions(int threads, const SweepPoint& point) {

@@ -11,7 +11,6 @@
 /// Usage: bench_service_throughput [output.json] [--threads=T] [--repeats=Q]
 /// where T is the number of client threads and Q the queries each issues.
 
-#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -74,7 +73,7 @@ double DriveWorkload(service::QueryService& service,
                      const std::vector<datalog::ConjunctiveQuery>& variants,
                      size_t* answers) {
   std::vector<size_t> totals(size_t(kClientThreads), 0);
-  const auto start = std::chrono::steady_clock::now();
+  const double start_ms = NowWallMs();
   std::vector<std::thread> clients;
   clients.reserve(size_t(kClientThreads));
   for (int t = 0; t < kClientThreads; ++t) {
@@ -94,12 +93,12 @@ double DriveWorkload(service::QueryService& service,
     });
   }
   for (std::thread& client : clients) client.join();
-  const auto stop = std::chrono::steady_clock::now();
+  const double elapsed_ms = NowWallMs() - start_ms;
   for (size_t total : totals) {
     PLANORDER_CHECK(total == totals[0]) << "client runs diverged";
   }
   *answers = totals[0];
-  return std::chrono::duration<double, std::milli>(stop - start).count();
+  return elapsed_ms;
 }
 
 void AppendMetrics(std::ostringstream& json, const char* label,

@@ -5,12 +5,12 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "base/logging.h"
+#include "bench_flags.h"
 #include "core/greedy.h"
 #include "core/idrips.h"
 #include "core/pi.h"
@@ -19,98 +19,9 @@
 
 namespace planorder::bench {
 
-/// Shared command-line handling of the plain-main benchmarks (the ones that
-/// write a BENCH_*.json instead of going through the google-benchmark
-/// driver). Accepted forms:
-///   bench [output.json] [--threads=N[,M...]] [--repeats=R]
-///         [--k=K[,K2...]] [--weights-seed=S]
-/// The first non-flag argument is the output path; --threads sets the
-/// thread-count sweep, --repeats the per-point repetitions, --k the ranked
-/// answer-count sweep and --weights-seed the tuple-weight seed (the latter
-/// two consumed by bench_anyk, accepted everywhere). Unknown flags abort
-/// with a usage message so CI typos fail loudly.
-struct BenchFlags {
-  std::string output;
-  std::vector<int> threads;
-  int repeats = 0;
-  /// Ranked-enumeration sweep: the k values of "time to the k-th answer".
-  std::vector<int> ks;
-  uint64_t weights_seed = 1;
-};
-
-inline BenchFlags ParseBenchFlags(int argc, char** argv,
-                                  std::string default_output,
-                                  std::vector<int> default_threads = {},
-                                  int default_repeats = 0,
-                                  std::vector<int> default_ks = {}) {
-  BenchFlags flags;
-  flags.output = std::move(default_output);
-  flags.threads = std::move(default_threads);
-  flags.repeats = default_repeats;
-  flags.ks = std::move(default_ks);
-  bool have_output = false;
-  auto parse_int_list = [](const std::string& arg, size_t prefix_len,
-                           std::vector<int>* out) {
-    out->clear();
-    std::string list = arg.substr(prefix_len);
-    size_t pos = 0;
-    while (pos < list.size()) {
-      const size_t comma = list.find(',', pos);
-      const std::string item =
-          list.substr(pos, comma == std::string::npos ? comma : comma - pos);
-      PLANORDER_CHECK(!item.empty()) << "empty entry in " << arg;
-      out->push_back(std::stoi(item));
-      PLANORDER_CHECK_GE(out->back(), 1) << "bad " << arg;
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-    PLANORDER_CHECK(!out->empty()) << "bad " << arg;
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
-      parse_int_list(arg, 10, &flags.threads);
-    } else if (arg.rfind("--k=", 0) == 0) {
-      parse_int_list(arg, 4, &flags.ks);
-    } else if (arg.rfind("--repeats=", 0) == 0) {
-      flags.repeats = std::stoi(arg.substr(10));
-      PLANORDER_CHECK_GE(flags.repeats, 1) << "bad " << arg;
-    } else if (arg.rfind("--weights-seed=", 0) == 0) {
-      flags.weights_seed = std::stoull(arg.substr(15));
-    } else {
-      PLANORDER_CHECK(!arg.empty() && arg[0] != '-' && !have_output)
-          << "usage: " << argv[0]
-          << " [output.json] [--threads=N[,M...]] [--repeats=R]"
-          << " [--k=K[,K2...]] [--weights-seed=S]; got '" << arg << "'";
-      flags.output = arg;
-      have_output = true;
-    }
-  }
-  return flags;
-}
-
-/// The "host" object every BENCH_*.json carries: the machine's hardware
-/// thread count plus the effective flag values of the run, so a benchmark
-/// artifact is self-describing when compared across CI runs.
-inline std::string HostMetadataJson(const BenchFlags& flags) {
-  auto int_list = [](const std::vector<int>& values) {
-    std::string out = "[";
-    for (size_t i = 0; i < values.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += std::to_string(values[i]);
-    }
-    return out + "]";
-  };
-  std::string out = "{";
-  out += "\"hardware_threads\": " +
-         std::to_string(std::thread::hardware_concurrency());
-  out += ", \"repeats\": " + std::to_string(flags.repeats);
-  out += ", \"threads\": " + int_list(flags.threads);
-  out += ", \"k\": " + int_list(flags.ks);
-  out += ", \"weights_seed\": " + std::to_string(flags.weights_seed);
-  out += "}";
-  return out;
-}
+// BenchFlags / ParseBenchFlags / HostMetadataJson / NowWallMs live in
+// bench_flags.h (no google-benchmark dependency) so tests/bench_flags_test.cc
+// can exercise the flag parser without linking the benchmark driver.
 
 /// The ordering algorithms under comparison (Section 6): Streamer and iDrips
 /// versus the PI reference, plus Greedy and the naive brute force for the

@@ -11,14 +11,20 @@ namespace planorder::anyk {
 
 namespace {
 
+/// Best-weight-per-answer accumulator of the oracle: keyed emplace/update
+/// during the join, then one drain sorted by RankedBefore (a total order),
+/// so hash order never reaches the emitted ranking.
+// detlint: order-insensitive(drained via std::sort(RankedBefore) total order)
+using BestMap = std::unordered_map<std::vector<datalog::Term>, double,
+                                   datalog::TermVectorHash>;
+
 /// Naive backtracking join over the body, accumulating per-answer best
 /// weights into a shared map (so the union variant merges for free).
 class Matcher {
  public:
   Matcher(const datalog::ConjunctiveQuery& query,
           const datalog::Database& facts, const WeightOptions& options,
-          std::unordered_map<std::vector<datalog::Term>, double,
-                             datalog::TermVectorHash>& best)
+          BestMap& best)
       : query_(query), facts_(facts), options_(options), best_(best) {}
 
   void Run() { Recurse(0, AggregationIdentity(options_.aggregation)); }
@@ -67,9 +73,9 @@ class Matcher {
   const datalog::ConjunctiveQuery& query_;
   const datalog::Database& facts_;
   const WeightOptions& options_;
+  // detlint: order-insensitive(keyed lookup/erase during backtracking only)
   std::unordered_map<std::string, datalog::Term> bindings_;
-  std::unordered_map<std::vector<datalog::Term>, double,
-                     datalog::TermVectorHash>& best_;
+  BestMap& best_;
 };
 
 Status ValidateForRanking(const datalog::ConjunctiveQuery& query) {
@@ -98,9 +104,7 @@ Status ValidateForRanking(const datalog::ConjunctiveQuery& query) {
   return OkStatus();
 }
 
-std::vector<RankedAnswer> SortedAnswers(
-    std::unordered_map<std::vector<datalog::Term>, double,
-                       datalog::TermVectorHash>& best) {
+std::vector<RankedAnswer> SortedAnswers(BestMap& best) {
   std::vector<RankedAnswer> answers;
   answers.reserve(best.size());
   for (auto& [tuple, weight] : best) {
@@ -121,9 +125,7 @@ StatusOr<std::vector<RankedAnswer>> BruteForceRankedAnswers(
 StatusOr<std::vector<RankedAnswer>> BruteForceRankedUnion(
     const std::vector<datalog::ConjunctiveQuery>& queries,
     const datalog::Database& facts, const WeightOptions& options) {
-  std::unordered_map<std::vector<datalog::Term>, double,
-                     datalog::TermVectorHash>
-      best;
+  BestMap best;
   for (const datalog::ConjunctiveQuery& query : queries) {
     PLANORDER_RETURN_IF_ERROR(ValidateForRanking(query));
     Matcher(query, facts, options, best).Run();

@@ -230,10 +230,14 @@ const AnyKEnumerator::Solution* AnyKEnumerator::GetSolution(int node,
 
 void AnyKEnumerator::BindWitness(
     int node, int group, int rank,
+    // detlint: order-insensitive(keyed writes commute; one write per var)
     std::unordered_map<std::string, datalog::Term>& bindings) {
   const NodeState& state = nodes_[node];
   const Solution& solution = state.groups[group].produced[rank];
   const int row = state.groups[group].entries[solution.entry].row;
+  // Hash-order iteration is safe: each variable lands at its own key in
+  // `bindings`, so the write set is identical under any order.
+  // detlint: order-insensitive(keyed writes commute; one write per var)
   for (const auto& [var, pos] : state.var_position) {
     bindings[var] = (*state.rows[row])[pos];
   }
@@ -254,6 +258,7 @@ const RankedAnswer* AnyKEnumerator::Peek() {
   if (root_group_ < 0) return nullptr;
   const Solution* solution = GetSolution(tree_.root, root_group_, next_rank_);
   if (solution == nullptr) return nullptr;
+  // detlint: order-insensitive(keyed reads by head-arg name only)
   std::unordered_map<std::string, datalog::Term> bindings;
   BindWitness(tree_.root, root_group_, next_rank_, bindings);
   peeked_.tuple.clear();

@@ -99,10 +99,16 @@ class AnyKEnumerator {
     std::vector<const std::vector<datalog::Term>*> rows;
     std::vector<double> row_weights;
     /// Argument positions of each variable's first occurrence in the atom.
+    /// BindWitness iterates it, but each variable is assigned into the
+    /// bindings map exactly once, so the fold commutes.
+    // detlint: order-insensitive(keyed writes commute; one write per var)
     std::unordered_map<std::string, int> var_position;
     /// Key-extraction positions: towards the parent, and per child.
     std::vector<int> parent_key_positions;
     std::vector<std::vector<int>> child_key_positions;
+    /// Keyed lookup only (FindGroup); group ids come from insertion order,
+    /// which follows the deterministic row scan.
+    // detlint: order-insensitive(keyed lookup/insert only; never iterated)
     std::unordered_map<std::vector<datalog::Term>, int,
                        datalog::TermVectorHash>
         group_index;
@@ -129,7 +135,9 @@ class AnyKEnumerator {
   void PushCandidate(int node, int group, Candidate candidate);
 
   /// Collects variable bindings of the witness rooted at (node, group, rank).
+  /// The bindings map is read back per head argument by name, never iterated.
   void BindWitness(int node, int group, int rank,
+                   // detlint: order-insensitive(keyed reads only; never iterated)
                    std::unordered_map<std::string, datalog::Term>& bindings);
 
   WeightOptions options_;

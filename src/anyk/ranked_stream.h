@@ -84,6 +84,9 @@ class RankedAnswerStream {
   std::vector<std::unique_ptr<AnyKEnumerator>> enumerators_;
   std::vector<RankedAnswer> batch_;  // current equal-weight batch, in order
   size_t batch_pos_ = 0;
+  /// Global dedup across plans: membership tests only, never iterated, so
+  /// hash order cannot reach the emission sequence.
+  // detlint: order-insensitive(membership-only dedup; never iterated)
   std::unordered_set<std::vector<datalog::Term>, datalog::TermVectorHash>
       seen_;
   Stats stats_;

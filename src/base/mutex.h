@@ -1,0 +1,84 @@
+#ifndef PLANORDER_BASE_MUTEX_H_
+#define PLANORDER_BASE_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.h"
+
+namespace planorder {
+
+/// Capability-annotated wrapper over std::mutex — the lockable type the
+/// thread-safety analysis (base/thread_annotations.h) can see. Every
+/// mutex-holding class in the project uses this instead of a bare std::mutex
+/// so its `GUARDED_BY(mu_)` members are compiler-checked under
+/// `-Wthread-safety`.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over a Mutex (the std::lock_guard / std::unique_lock of
+/// the annotated world). Holds the capability for its lifetime; CondVar
+/// waits take it by reference and re-hold it on return.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. Wait atomically releases
+/// the lock while blocked and re-acquires it before returning, so from the
+/// analysis's point of view the caller's MutexLock scope simply stays held
+/// across the call (the same convention absl::CondVar uses).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until `pred()` holds. `lock` must lock the mutex guarding the
+  /// state `pred` reads.
+  template <typename Pred>
+  void Wait(MutexLock& lock, Pred pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  /// As Wait, but gives up after `timeout_ms`. Returns pred() as of
+  /// re-acquisition (true = condition met, false = timed out).
+  template <typename Pred>
+  bool WaitForMs(MutexLock& lock, double timeout_ms, Pred pred) {
+    return cv_.wait_for(lock.lock_,
+                        std::chrono::duration<double, std::milli>(timeout_ms),
+                        std::move(pred));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace planorder
+
+#endif  // PLANORDER_BASE_MUTEX_H_

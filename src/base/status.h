@@ -36,7 +36,11 @@ std::string_view StatusCodeName(StatusCode code);
 
 /// Value type describing the outcome of an operation: either OK, or an error
 /// code with a message. Modeled after absl::Status but self-contained.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures (a discarded
+/// kUnavailable is a swallowed outage); callers that genuinely do not care
+/// must say so with an explicit `(void)` cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -84,7 +88,7 @@ Status ResourceExhaustedError(std::string message);
 
 /// Union of a Status and a value: holds T when ok, an error Status otherwise.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// An error StatusOr. Passing an OK status is an API misuse and is
   /// converted to an internal error.

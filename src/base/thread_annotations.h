@@ -1,0 +1,69 @@
+#ifndef PLANORDER_BASE_THREAD_ANNOTATIONS_H_
+#define PLANORDER_BASE_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis capability annotations (abseil-style shim).
+///
+/// The annotations turn the locking discipline that DESIGN.md states in
+/// comments ("guarded by mu_") into compiler-checked invariants: under
+/// `clang++ -Wthread-safety` every access to a GUARDED_BY member outside its
+/// mutex, every function called without a REQUIRES capability, and every
+/// unbalanced ACQUIRE/RELEASE is a warning (an error in the CI lint job,
+/// which builds with -Wthread-safety -Werror). Under GCC — which has no
+/// thread-safety analysis — every macro expands to nothing, so the
+/// annotations are free for the tier-1 build.
+///
+/// Use them through base/mutex.h (`Mutex`, `MutexLock`, `CondVar`), which
+/// wraps the std primitives in capability-annotated types; a bare std::mutex
+/// is invisible to the analysis.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PLANORDER_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PLANORDER_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+/// Declares a type to be a capability (e.g. a mutex) the analysis tracks.
+#define CAPABILITY(x) PLANORDER_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose lifetime holds a capability.
+#define SCOPED_CAPABILITY PLANORDER_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define GUARDED_BY(x) PLANORDER_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the data pointed to by this pointer member is protected.
+#define PT_GUARDED_BY(x) PLANORDER_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that a function may only be called while holding the capability.
+#define REQUIRES(...) \
+  PLANORDER_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// As REQUIRES, but for capabilities held shared (reader side).
+#define REQUIRES_SHARED(...) \
+  PLANORDER_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  PLANORDER_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the capability.
+#define RELEASE(...) \
+  PLANORDER_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability when it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  PLANORDER_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Declares that a function must be called *without* the capability held
+/// (the function acquires it itself; calling with it held would deadlock).
+#define EXCLUDES(...) PLANORDER_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) PLANORDER_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Every use must carry
+/// a comment saying why the discipline cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PLANORDER_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // PLANORDER_BASE_THREAD_ANNOTATIONS_H_

@@ -136,6 +136,8 @@ StatusOr<std::vector<std::vector<Term>>> ExecutePlanDependent(
     if (frontier.empty()) break;
   }
 
+  // Dedup guard only: answers keep the deterministic frontier order.
+  // detlint: order-insensitive(membership-only dedup; never iterated)
   std::unordered_set<std::vector<Term>, datalog::TermVectorHash> seen;
   std::vector<std::vector<Term>> answers;
   for (const Substitution& subst : frontier) {

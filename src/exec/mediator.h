@@ -233,12 +233,17 @@ class MediatorStream {
   const MediatorResult& result() const { return result_; }
   MediatorResult TakeResult();
 
+  /// Distinct-answer dedup set. Iteration order is explicitly outside the
+  /// stream contract (Session::Answers documents "unspecified order"), and
+  /// the insertion sequence is the deterministic plan emission order, so any
+  /// consumer iterating it still sees a reproducible sequence for a fixed
+  /// standard library.
+  // detlint: order-insensitive(membership dedup; order outside the contract)
+  using AnswerSet = std::unordered_set<std::vector<datalog::Term>,
+                                       datalog::TermVectorHash>;
+
   /// The distinct answer tuples accumulated so far.
-  const std::unordered_set<std::vector<datalog::Term>,
-                           datalog::TermVectorHash>&
-  answers() const {
-    return answers_;
-  }
+  const AnswerSet& answers() const { return answers_; }
 
  private:
   friend class Mediator;
@@ -256,8 +261,7 @@ class MediatorStream {
   PlanExecutor* executor_;
   int plans_emitted_ = 0;
   double estimated_cost_spent_ = 0.0;
-  std::unordered_set<std::vector<datalog::Term>, datalog::TermVectorHash>
-      answers_;
+  AnswerSet answers_;
   MediatorResult result_;
   bool done_ = false;
 };

@@ -125,6 +125,7 @@ StatusOr<std::vector<std::vector<datalog::Term>>> AccessibleSource::FetchBatch(
   // Temporarily neutralize per-combination accounting: the batch is one
   // call and ships the deduplicated union.
   const AccessStats before = stats_;
+  // detlint: order-insensitive(membership-only dedup; result keeps row order)
   std::unordered_map<std::string, bool> seen;
   for (const auto& bindings : batch) {
     for (const auto& row : Fetch(bindings)) {

@@ -71,6 +71,8 @@ class AccessibleSource {
  private:
   struct Index {
     // Key: concatenated ToString of the bound values; value: matching rows.
+    // Probed by key only; the rows vectors keep insertion (load) order.
+    // detlint: order-insensitive(keyed probe only; never iterated)
     std::unordered_map<std::string, std::vector<std::vector<datalog::Term>>>
         rows;
   };
@@ -83,7 +85,8 @@ class AccessibleSource {
   size_t arity_;
   std::string binding_pattern_;
   std::vector<std::vector<datalog::Term>> tuples_;
-  std::unordered_map<std::string, Index> indexes_;  // by position-set key
+  // detlint: order-insensitive(keyed probe by position-set key only)
+  std::unordered_map<std::string, Index> indexes_;
   AccessStats stats_;
   std::vector<std::vector<datalog::Term>> empty_;
 };

@@ -48,7 +48,7 @@ StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
   exec::RuntimeAccounting acct;
   const auto commit = [&] {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.Merge(acct);
     }
     if (accounting != nullptr) accounting->Merge(acct);
@@ -97,7 +97,7 @@ StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
       // outside it.
       StatusOr<std::vector<std::vector<datalog::Term>>> rows =
           [&]() -> StatusOr<std::vector<std::vector<datalog::Term>>> {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         return source_->FetchBatch(batch);
       }();
       if (!rows.ok()) {
@@ -151,12 +151,12 @@ StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
 }
 
 exec::RuntimeAccounting RemoteSource::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void RemoteSource::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = exec::RuntimeAccounting{};
 }
 

@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "datalog/term.h"
 #include "exec/mediator.h"
 #include "exec/source_access.h"
@@ -98,20 +99,20 @@ class RemoteSource {
   StatusOr<std::vector<std::vector<datalog::Term>>> FetchBatch(
       const std::vector<std::map<int, datalog::Term>>& batch,
       const RetryPolicy& retry, double* simulated_ms = nullptr,
-      exec::RuntimeAccounting* accounting = nullptr);
+      exec::RuntimeAccounting* accounting = nullptr) EXCLUDES(mu_);
 
   /// Snapshot of this source's runtime accounting.
-  exec::RuntimeAccounting stats() const;
-  void ResetStats();
+  exec::RuntimeAccounting stats() const EXCLUDES(mu_);
+  void ResetStats() EXCLUDES(mu_);
 
  private:
-  exec::AccessibleSource* source_;
+  exec::AccessibleSource* source_;  // fetches serialized under mu_
   uint64_t seed_;
   NetworkModel model_;
   double time_dilation_ = 1.0;
   Clock* clock_ = RealClock::Instance();
-  mutable std::mutex mu_;           // guards source_ fetches and stats_
-  exec::RuntimeAccounting stats_;   // guarded by mu_
+  mutable Mutex mu_;
+  exec::RuntimeAccounting stats_ GUARDED_BY(mu_);
 };
 
 /// The runtime's view of the mediator's sources: one RemoteSource per entry

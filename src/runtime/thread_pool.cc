@@ -14,27 +14,29 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.Wait(lock, [this]() REQUIRES(mu_) {
+        return shutdown_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // shutdown_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -45,7 +47,7 @@ void ThreadPool::WorkerLoop() {
 
 void TaskGroup::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   pool_->Submit([this, task = std::move(task)] {
@@ -53,15 +55,15 @@ void TaskGroup::Submit(std::function<void()> task) {
     // Notify under the lock: once the count hits zero a waiter may destroy
     // this group the moment the mutex is released, so the worker must not
     // touch group state afterwards.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --pending_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   });
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  cv_.Wait(lock, [this]() REQUIRES(mu_) { return pending_ == 0; });
 }
 
 }  // namespace planorder::runtime

@@ -1,12 +1,13 @@
 #ifndef PLANORDER_RUNTIME_THREAD_POOL_H_
 #define PLANORDER_RUNTIME_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace planorder::runtime {
 
@@ -35,15 +36,15 @@ class ThreadPool {
 
   /// Enqueues a task. Never blocks (unbounded queue); safe from any thread,
   /// including from inside a running task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  bool shutdown_ = false;                    // guarded by mu_
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 
@@ -63,16 +64,16 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Submits `task` to the pool as part of this batch.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has completed.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
  private:
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int pending_ = 0;  // guarded by mu_
+  Mutex mu_;
+  CondVar cv_;
+  int pending_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace planorder::runtime

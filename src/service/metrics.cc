@@ -6,14 +6,14 @@
 namespace planorder::service {
 
 void LatencyHistogram::Record(double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_.push_back(ms);
   total_ms_ += ms;
   if (ms > max_ms_) max_ms_ = ms;
 }
 
 double LatencyHistogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (samples_.empty()) return 0.0;
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
@@ -27,17 +27,17 @@ double LatencyHistogram::Percentile(double p) const {
 }
 
 size_t LatencyHistogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return samples_.size();
 }
 
 double LatencyHistogram::max_ms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_ms_;
 }
 
 double LatencyHistogram::total_ms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_ms_;
 }
 

@@ -2,9 +2,10 @@
 #define PLANORDER_SERVICE_METRICS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "exec/mediator.h"
 #include "service/reformulation_cache.h"
 
@@ -15,21 +16,21 @@ namespace planorder::service {
 /// percentiles on demand. Thread-safe.
 class LatencyHistogram {
  public:
-  void Record(double ms);
+  void Record(double ms) EXCLUDES(mu_);
 
   /// Exact percentile by nearest-rank over the recorded samples; 0.0 when
   /// empty. `p` in [0, 100].
-  double Percentile(double p) const;
+  double Percentile(double p) const EXCLUDES(mu_);
 
-  size_t count() const;
-  double max_ms() const;
-  double total_ms() const;
+  size_t count() const EXCLUDES(mu_);
+  double max_ms() const EXCLUDES(mu_);
+  double total_ms() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
-  double max_ms_ = 0.0;
-  double total_ms_ = 0.0;
+  mutable Mutex mu_;
+  std::vector<double> samples_ GUARDED_BY(mu_);
+  double max_ms_ GUARDED_BY(mu_) = 0.0;
+  double total_ms_ GUARDED_BY(mu_) = 0.0;
 };
 
 /// Point-in-time service counters, safe to read while sessions run.

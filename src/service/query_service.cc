@@ -1,7 +1,6 @@
 #include "service/query_service.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -29,10 +28,12 @@ QueryService::QueryService(const datalog::Catalog* catalog,
                      ? std::make_unique<runtime::ThreadPool>(
                            options_.eval_threads)
                      : nullptr),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : runtime::RealClock::Instance()),
       cache_(options_.cache_capacity) {}
 
 Status QueryService::Admit() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (active_ < options_.max_active_sessions) {
     ++active_;
     ++admitted_;
@@ -49,10 +50,9 @@ Status QueryService::Admit() {
   ++queued_;
   ++queued_total_;
   queue_depth_peak_ = std::max(queue_depth_peak_, queued_);
-  const bool got_slot = slot_free_.wait_for(
-      lock,
-      std::chrono::duration<double, std::milli>(options_.admission_timeout_ms),
-      [&] { return active_ < options_.max_active_sessions; });
+  const bool got_slot = slot_free_.WaitForMs(
+      lock, options_.admission_timeout_ms,
+      [this]() REQUIRES(mu_) { return active_ < options_.max_active_sessions; });
   --queued_;
   if (!got_slot) {
     ++shed_;
@@ -68,16 +68,16 @@ Status QueryService::Admit() {
 
 void QueryService::Release() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --active_;
   }
-  slot_free_.notify_one();
+  slot_free_.NotifyOne();
 }
 
 void QueryService::OnSessionFinished(const exec::MediatorResult& result,
                                      double elapsed_ms) {
   latency_.Record(elapsed_ms);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++completed_;
   total_answers_ += static_cast<int64_t>(result.total_answers);
   total_steps_ += static_cast<int64_t>(result.steps.size());
@@ -88,7 +88,7 @@ StatusOr<QueryService::ReformulationOutcome> QueryService::Reformulate(
     const datalog::ConjunctiveQuery& query) {
   datalog::CanonicalQuery canonical = datalog::CanonicalizeQuery(query);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++canonicalizations_;
   }
   std::shared_ptr<const CachedReformulation> entry = cache_.Lookup(canonical);
@@ -97,7 +97,7 @@ StatusOr<QueryService::ReformulationOutcome> QueryService::Reformulate(
     if (options_.verify_cache_hits) {
       verified =
           datalog::AreEquivalent(entry->canonical.query, canonical.query);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++cache_verifications_;
       if (!verified) ++cache_verification_failures_;
     }
@@ -211,7 +211,7 @@ StatusOr<exec::MediatorResult> QueryService::RunQuery(
 ServiceMetricsSnapshot QueryService::Metrics() const {
   ServiceMetricsSnapshot snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot.sessions_admitted = admitted_;
     snapshot.sessions_completed = completed_;
     snapshot.sessions_shed = shed_;

@@ -1,14 +1,15 @@
 #ifndef PLANORDER_SERVICE_QUERY_SERVICE_H_
 #define PLANORDER_SERVICE_QUERY_SERVICE_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "datalog/source.h"
 #include "exec/mediator.h"
 #include "reformulation/statistics.h"
+#include "runtime/clock.h"
 #include "runtime/thread_pool.h"
 #include "service/metrics.h"
 #include "service/reformulation_cache.h"
@@ -44,6 +45,12 @@ struct ServiceOptions {
 
   /// Statistics estimation knobs for cold (uncached) reformulations.
   reformulation::EstimateOptions estimate;
+
+  /// Time source for session latency metrics (borrowed; nullptr = the
+  /// process-wide RealClock). Inject a runtime::VirtualClock to make latency
+  /// accounting fully deterministic — the only wall-clock read the service
+  /// layer performs goes through this hook.
+  runtime::Clock* clock = nullptr;
 };
 
 /// The multi-query mediator front end: many concurrent client sessions over
@@ -107,12 +114,12 @@ class QueryService {
   friend class Session;
 
   /// Blocks for an admission slot per the options. OK = slot held.
-  Status Admit();
+  Status Admit() EXCLUDES(mu_);
   /// Returns a slot (Session finish/destruction path).
-  void Release();
+  void Release() EXCLUDES(mu_);
   /// Folds a finished session's totals into the service metrics.
   void OnSessionFinished(const exec::MediatorResult& result,
-                         double elapsed_ms);
+                         double elapsed_ms) EXCLUDES(mu_);
 
   /// Canonicalize + cache lookup (+ optional containment verification),
   /// computing and inserting the reformulation on a miss. Returns the entry
@@ -141,24 +148,25 @@ class QueryService {
   /// Shared across all sessions' orderers (ThreadPool::Submit is
   /// thread-safe); null when options_.eval_threads == 0.
   std::unique_ptr<runtime::ThreadPool> eval_pool_;
+  runtime::Clock* clock_;  // options_.clock or the process-wide RealClock
   ReformulationCache cache_;
   LatencyHistogram latency_;
 
-  mutable std::mutex mu_;
-  std::condition_variable slot_free_;
-  int active_ = 0;
-  int queued_ = 0;
-  int queue_depth_peak_ = 0;
-  int64_t admitted_ = 0;
-  int64_t completed_ = 0;
-  int64_t shed_ = 0;
-  int64_t queued_total_ = 0;
-  int64_t canonicalizations_ = 0;
-  int64_t cache_verifications_ = 0;
-  int64_t cache_verification_failures_ = 0;
-  int64_t total_answers_ = 0;
-  int64_t total_steps_ = 0;
-  exec::RuntimeAccounting runtime_total_;
+  mutable Mutex mu_;
+  CondVar slot_free_;
+  int active_ GUARDED_BY(mu_) = 0;
+  int queued_ GUARDED_BY(mu_) = 0;
+  int queue_depth_peak_ GUARDED_BY(mu_) = 0;
+  int64_t admitted_ GUARDED_BY(mu_) = 0;
+  int64_t completed_ GUARDED_BY(mu_) = 0;
+  int64_t shed_ GUARDED_BY(mu_) = 0;
+  int64_t queued_total_ GUARDED_BY(mu_) = 0;
+  int64_t canonicalizations_ GUARDED_BY(mu_) = 0;
+  int64_t cache_verifications_ GUARDED_BY(mu_) = 0;
+  int64_t cache_verification_failures_ GUARDED_BY(mu_) = 0;
+  int64_t total_answers_ GUARDED_BY(mu_) = 0;
+  int64_t total_steps_ GUARDED_BY(mu_) = 0;
+  exec::RuntimeAccounting runtime_total_ GUARDED_BY(mu_);
 };
 
 }  // namespace planorder::service

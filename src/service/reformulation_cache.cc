@@ -6,7 +6,7 @@ namespace planorder::service {
 
 std::shared_ptr<const CachedReformulation> ReformulationCache::Lookup(
     const datalog::CanonicalQuery& canonical) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_hash_.find(canonical.hash);
   if (it == by_hash_.end()) {
     ++stats_.misses;
@@ -27,7 +27,7 @@ std::shared_ptr<const CachedReformulation> ReformulationCache::Lookup(
 void ReformulationCache::Insert(
     std::shared_ptr<const CachedReformulation> entry) {
   if (entry == nullptr || capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_hash_.find(entry->canonical.hash);
   if (it != by_hash_.end()) {
     // Replace in place (same key: concurrent misses raced; different key:
@@ -47,7 +47,7 @@ void ReformulationCache::Insert(
 }
 
 ReformulationCache::Stats ReformulationCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats snapshot = stats_;
   snapshot.size = lru_.size();
   snapshot.capacity = capacity_;

@@ -4,9 +4,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "datalog/canonicalize.h"
 #include "reformulation/bucket.h"
 #include "stats/workload.h"
@@ -54,23 +55,26 @@ class ReformulationCache {
   /// Returns the resident entry for `canonical`, bumping it to
   /// most-recently-used, or nullptr on miss/collision.
   std::shared_ptr<const CachedReformulation> Lookup(
-      const datalog::CanonicalQuery& canonical);
+      const datalog::CanonicalQuery& canonical) EXCLUDES(mu_);
 
   /// Inserts `entry` as most-recently-used, evicting from the LRU end past
   /// capacity. A same-key entry already resident is replaced (last writer
   /// wins; races between concurrent misses on the same query are benign).
-  void Insert(std::shared_ptr<const CachedReformulation> entry);
+  void Insert(std::shared_ptr<const CachedReformulation> entry) EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
  private:
   using LruList = std::list<std::shared_ptr<const CachedReformulation>>;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   const size_t capacity_;
-  LruList lru_;                                         // front = most recent
-  std::unordered_map<uint64_t, LruList::iterator> by_hash_;
-  Stats stats_;
+  LruList lru_ GUARDED_BY(mu_);  // front = most recent
+  // Hash-indexed handle into the LRU list: lookup/erase by key only, never
+  // iterated, so the bucket order cannot reach any output.
+  // detlint: order-insensitive(keyed lookup/erase only; never iterated)
+  std::unordered_map<uint64_t, LruList::iterator> by_hash_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace planorder::service

@@ -12,7 +12,7 @@ Session::Session(QueryService* service,
     : service_(service),
       reformulation_(std::move(reformulation)),
       cache_hit_(cache_hit),
-      admitted_at_(std::chrono::steady_clock::now()) {}
+      admitted_at_ms_(service->clock_->NowMs()) {}
 
 Session::~Session() { Finish(); }
 
@@ -34,10 +34,7 @@ exec::MediatorResult Session::Finish() {
   if (finished_) return {};
   finished_ = true;
   exec::MediatorResult result;
-  const double elapsed_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - admitted_at_)
-          .count();
+  const double elapsed_ms = service_->clock_->NowMs() - admitted_at_ms_;
   if (stream_.has_value()) {
     result = stream_->TakeResult();
     service_->OnSessionFinished(result, elapsed_ms);

@@ -1,7 +1,6 @@
 #ifndef PLANORDER_SERVICE_SESSION_H_
 #define PLANORDER_SERVICE_SESSION_H_
 
-#include <chrono>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -96,7 +95,10 @@ class Session {
   std::unique_ptr<exec::Mediator> mediator_;
   std::optional<exec::MediatorStream> stream_;
   std::optional<anyk::RankedAnswerStream> ranked_;
-  std::chrono::steady_clock::time_point admitted_at_;
+  /// Admission timestamp on the service's runtime::Clock — the service layer
+  /// never reads the wall clock directly, so an injected VirtualClock makes
+  /// latency metrics deterministic too (ServiceOptions::clock).
+  double admitted_at_ms_ = 0.0;
   bool finished_ = false;
 };
 

@@ -1,0 +1,101 @@
+// Regression tests for the shared bench flag parser (bench/bench_flags.h):
+// every accepted form parses, and — the regression that motivated the file —
+// EVERY parse-failure path dies printing the one full usage string, which
+// must list the complete flag set including --k and --weights-seed.
+
+#include "../bench/bench_flags.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace planorder::bench {
+namespace {
+
+BenchFlags Parse(std::vector<std::string> args) {
+  std::vector<std::string> storage;
+  storage.push_back("bench_under_test");
+  for (std::string& arg : args) storage.push_back(std::move(arg));
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  return ParseBenchFlags(static_cast<int>(argv.size()), argv.data(),
+                         "default.json", {1, 2}, 3, {10});
+}
+
+TEST(BenchFlagsTest, DefaultsSurviveAnEmptyCommandLine) {
+  const BenchFlags flags = Parse({});
+  EXPECT_EQ(flags.output, "default.json");
+  EXPECT_EQ(flags.threads, (std::vector<int>{1, 2}));
+  EXPECT_EQ(flags.repeats, 3);
+  EXPECT_EQ(flags.ks, (std::vector<int>{10}));
+  EXPECT_EQ(flags.weights_seed, 1u);
+}
+
+TEST(BenchFlagsTest, EveryAcceptedFormParses) {
+  const BenchFlags flags =
+      Parse({"out.json", "--threads=1,2,8", "--repeats=5", "--k=1,10,100",
+             "--weights-seed=42"});
+  EXPECT_EQ(flags.output, "out.json");
+  EXPECT_EQ(flags.threads, (std::vector<int>{1, 2, 8}));
+  EXPECT_EQ(flags.repeats, 5);
+  EXPECT_EQ(flags.ks, (std::vector<int>{1, 10, 100}));
+  EXPECT_EQ(flags.weights_seed, 42u);
+}
+
+TEST(BenchFlagsTest, UsageStringListsTheFullFlagSet) {
+  const std::string usage = BenchUsage("b");
+  EXPECT_NE(usage.find("--threads="), std::string::npos);
+  EXPECT_NE(usage.find("--repeats="), std::string::npos);
+  EXPECT_NE(usage.find("--k="), std::string::npos);
+  EXPECT_NE(usage.find("--weights-seed="), std::string::npos);
+}
+
+// The regex asserted on every death: the full usage line (with the PR-6
+// flags) must reach stderr no matter which path failed.
+constexpr const char* kUsagePattern =
+    "usage: .*--threads=.*--repeats=.*--k=.*--weights-seed=";
+
+TEST(BenchFlagsDeathTest, UnknownFlagDiesWithUsage) {
+  EXPECT_DEATH(Parse({"--bogus=1"}), kUsagePattern);
+}
+
+TEST(BenchFlagsDeathTest, SecondPositionalArgumentDiesWithUsage) {
+  EXPECT_DEATH(Parse({"a.json", "b.json"}), kUsagePattern);
+}
+
+TEST(BenchFlagsDeathTest, NonNumericListEntryDiesWithUsage) {
+  EXPECT_DEATH(Parse({"--threads=abc"}), kUsagePattern);
+}
+
+TEST(BenchFlagsDeathTest, EmptyListEntryDiesWithUsage) {
+  EXPECT_DEATH(Parse({"--threads=1,,2"}), kUsagePattern);
+}
+
+TEST(BenchFlagsDeathTest, EmptyListDiesWithUsage) {
+  EXPECT_DEATH(Parse({"--k="}), kUsagePattern);
+}
+
+TEST(BenchFlagsDeathTest, ZeroValueDiesWithUsage) {
+  EXPECT_DEATH(Parse({"--threads=0"}), kUsagePattern);
+}
+
+TEST(BenchFlagsDeathTest, NonNumericRepeatsDiesWithUsage) {
+  EXPECT_DEATH(Parse({"--repeats=x"}), kUsagePattern);
+}
+
+TEST(BenchFlagsDeathTest, ZeroRepeatsDiesWithUsage) {
+  EXPECT_DEATH(Parse({"--repeats=0"}), kUsagePattern);
+}
+
+TEST(BenchFlagsDeathTest, OverflowingValueDiesWithUsage) {
+  EXPECT_DEATH(Parse({"--repeats=99999999999"}), kUsagePattern);
+}
+
+TEST(BenchFlagsDeathTest, NonNumericSeedDiesWithUsage) {
+  EXPECT_DEATH(Parse({"--weights-seed=deadbeef"}), kUsagePattern);
+}
+
+}  // namespace
+}  // namespace planorder::bench

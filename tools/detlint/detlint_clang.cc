@@ -1,0 +1,244 @@
+// detlint — clang LibTooling mode.
+//
+// Type-aware variant of the portable token scanner (scanner.cc). Built only
+// when CMake finds a Clang development package (find_package(Clang)); the
+// portable mode is the always-available fallback with the same check IDs,
+// the same suppression syntax and the same golden corpus.
+//
+// Division of labor per check:
+//   D1  token-level via the shared core scanner (the banned identifiers are
+//       unambiguous; macros hide from the AST anyway)
+//   D2  AST: declarations whose desugared type is a std::unordered_*
+//       container — catches typedef/alias-laundered types the token scan
+//       can only see at the alias definition
+//   D3  AST: compound assignment onto a floating-point lvalue, `float`
+//       declarations, and calls to std::accumulate/reduce/inner_product/fma
+//       — catches `total += w;` where no literal betrays the type
+//   D4  AST: map/set specializations whose first template argument is a
+//       pointer type, however many aliases deep
+//
+// Output is the shared interchange format ("file:line: Dx: message"), so CI
+// validates this mode against the same corpus via
+//
+//   detlint-clang tools/detlint/testdata/*.cc -- -std=c++20 > findings.txt
+//   detlint self-test --corpus=tools/detlint/testdata --findings=findings.txt
+//
+// Suppression directives are honored here exactly as in the portable mode:
+// both modes call the same ParseDirectives/IsSuppressed from scanner.h.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/FrontendActions.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+
+#include "scanner.h"
+
+namespace detlint = planorder::detlint;
+
+using clang::ast_matchers::MatchFinder;
+
+namespace {
+
+llvm::cl::OptionCategory kDetlintCategory("detlint options");
+llvm::cl::opt<std::string> kRootFlag(
+    "detlint-root",
+    llvm::cl::desc("repo root for path scoping (default: cwd)"),
+    llvm::cl::init("."), llvm::cl::cat(kDetlintCategory));
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Repo-relative '/'-separated path for scoping, preferring the corpus
+/// files' detlint-scan-as header.
+std::string ScopePath(const std::string& file,
+                      const detlint::Directives& directives) {
+  if (!directives.scan_as.empty()) return directives.scan_as;
+  std::error_code ec;
+  const auto rel =
+      std::filesystem::relative(file, kRootFlag.getValue(), ec);
+  if (ec) return file;
+  return rel.generic_string();
+}
+
+class DetlintCallback : public MatchFinder::MatchCallback {
+ public:
+  std::vector<detlint::Finding> findings;
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const clang::SourceManager& sm = *result.SourceManager;
+    struct Site {
+      const char* tag;
+      detlint::CheckId check;
+      const char* message;
+    };
+    static const Site kSites[] = {
+        {"d2", detlint::CheckId::kD2,
+         "unordered container in an ordering/emission/answer path; use an "
+         "ordered container or annotate order-insensitive(reason)"},
+        {"d3-acc", detlint::CheckId::kD3,
+         "floating-point compound accumulation in a weight path; fold "
+         "through AggregationCombine (anyk/weights.h)"},
+        {"d3-float", detlint::CheckId::kD3,
+         "float narrows the dyadic-rational weight invariant; use double"},
+        {"d3-call", detlint::CheckId::kD3,
+         "fold primitive in a weight path; fold through AggregationCombine"},
+        {"d4", detlint::CheckId::kD4,
+         "associative container keyed by pointer value; key by a stable id "
+         "instead"},
+    };
+    for (const Site& site : kSites) {
+      clang::SourceLocation loc;
+      if (const auto* decl = result.Nodes.getNodeAs<clang::Decl>(site.tag)) {
+        loc = decl->getBeginLoc();
+      } else if (const auto* stmt =
+                     result.Nodes.getNodeAs<clang::Stmt>(site.tag)) {
+        loc = stmt->getBeginLoc();
+      } else {
+        continue;
+      }
+      loc = sm.getExpansionLoc(loc);
+      if (loc.isInvalid() || !sm.isWrittenInMainFile(loc)) continue;
+      Record(sm.getFilename(loc).str(), sm.getExpansionLineNumber(loc),
+             site.check, site.message);
+    }
+  }
+
+ private:
+  struct FileInfo {
+    detlint::Directives directives;
+    std::string scope;
+  };
+
+  const FileInfo& InfoFor(const std::string& file) {
+    auto it = files_.find(file);
+    if (it == files_.end()) {
+      FileInfo info;
+      info.directives = detlint::ParseDirectives(ReadFileOrEmpty(file));
+      info.scope = ScopePath(file, info.directives);
+      it = files_.emplace(file, std::move(info)).first;
+    }
+    return it->second;
+  }
+
+  void Record(const std::string& file, int line, detlint::CheckId check,
+              const char* message) {
+    const FileInfo& info = InfoFor(file);
+    if (!detlint::CheckAppliesTo(check, info.scope)) return;
+    if (detlint::IsSuppressed(info.directives, check, line)) return;
+    if (!seen_.emplace(file, line, static_cast<int>(check)).second) return;
+    detlint::Finding f;
+    f.file = file;
+    f.line = line;
+    f.check = check;
+    f.message = message;
+    findings.push_back(std::move(f));
+  }
+
+  std::map<std::string, FileInfo> files_;
+  std::set<std::tuple<std::string, int, int>> seen_;
+};
+
+void AddMatchers(MatchFinder* finder, DetlintCallback* callback) {
+  using namespace clang::ast_matchers;  // NOLINT: matcher DSL
+
+  const auto unordered_container = hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(namedDecl(hasAnyName(
+          "::std::unordered_map", "::std::unordered_set",
+          "::std::unordered_multimap", "::std::unordered_multiset")))));
+  finder->addMatcher(
+      valueDecl(hasType(qualType(unordered_container))).bind("d2"), callback);
+
+  finder->addMatcher(
+      compoundAssignOperator(hasLHS(expr(hasType(realFloatingPointType()))))
+          .bind("d3-acc"),
+      callback);
+  finder->addMatcher(valueDecl(hasType(asString("float"))).bind("d3-float"),
+                     callback);
+  finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::std::accumulate", "::std::reduce",
+                              "::std::inner_product", "::std::fma"))))
+          .bind("d3-call"),
+      callback);
+
+  const auto pointer_keyed = hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(classTemplateSpecializationDecl(
+          hasAnyName("::std::map", "::std::set", "::std::multimap",
+                     "::std::multiset", "::std::unordered_map",
+                     "::std::unordered_set", "::std::unordered_multimap",
+                     "::std::unordered_multiset"),
+          hasTemplateArgument(0, refersToType(pointerType()))))));
+  finder->addMatcher(
+      valueDecl(hasType(qualType(pointer_keyed))).bind("d4"), callback);
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto options_or = clang::tooling::CommonOptionsParser::create(
+      argc, argv, kDetlintCategory);
+  if (!options_or) {
+    llvm::errs() << llvm::toString(options_or.takeError()) << "\n";
+    return 2;
+  }
+  clang::tooling::CommonOptionsParser& options = *options_or;
+  clang::tooling::ClangTool tool(options.getCompilations(),
+                                 options.getSourcePathList());
+
+  DetlintCallback callback;
+  MatchFinder finder;
+  AddMatchers(&finder, &callback);
+  const int tool_status =
+      tool.run(clang::tooling::newFrontendActionFactory(&finder).get());
+  if (tool_status != 0) {
+    llvm::errs() << "detlint-clang: compilation failed\n";
+    return 2;
+  }
+
+  // D1 rides on the shared token scanner, honoring scan-as and suppressions
+  // exactly like the portable mode.
+  for (const std::string& file : options.getSourcePathList()) {
+    const std::string contents = ReadFileOrEmpty(file);
+    const detlint::Directives directives = detlint::ParseDirectives(contents);
+    const std::string scope = ScopePath(file, directives);
+    for (detlint::Finding f : detlint::ScanFile(scope, contents)) {
+      if (f.check != detlint::CheckId::kD1) continue;
+      f.file = file;
+      callback.findings.push_back(std::move(f));
+    }
+  }
+
+  std::sort(callback.findings.begin(), callback.findings.end(),
+            [](const detlint::Finding& a, const detlint::Finding& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  for (const detlint::Finding& f : callback.findings) {
+    std::cout << detlint::FormatFinding(f) << "\n";
+  }
+  if (!callback.findings.empty()) {
+    llvm::errs() << "detlint-clang: " << callback.findings.size()
+                 << " finding(s)\n";
+    return 1;
+  }
+  llvm::errs() << "detlint-clang: clean\n";
+  return 0;
+}

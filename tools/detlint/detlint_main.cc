@@ -1,0 +1,172 @@
+// detlint CLI — portable mode.
+//
+//   detlint scan --root=DIR [--include-suppressed]
+//       Full-tree scan. Exit 0 clean, 1 findings, 2 usage/IO error.
+//   detlint self-test --corpus=DIR [--findings=FILE]
+//       Golden-corpus check: every seeded violation fires, every suppression
+//       silences. With --findings, validates an external findings list (the
+//       LibTooling mode's output in the shared "file:line: Dx: message"
+//       format) against the same corpus instead of this scanner.
+//   detlint list-checks
+//
+// The same corpus and exit-code contract apply to the clang LibTooling
+// variant (detlint_clang.cc), so CI can assert both modes agree.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scanner.h"
+
+namespace detlint = planorder::detlint;
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: detlint scan --root=DIR [--include-suppressed]\n"
+            << "       detlint self-test --corpus=DIR [--findings=FILE]\n"
+            << "       detlint list-checks\n";
+  return 2;
+}
+
+bool FlagValue(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.compare(0, prefix.size(), prefix) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+/// Parses the interchange format back into findings; returns false on a
+/// malformed line. Blank lines and lines starting with '#' are skipped so a
+/// findings file can carry provenance comments.
+bool ParseFindingsFile(const std::string& path,
+                       std::vector<detlint::Finding>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "detlint: cannot read findings file " << path << "\n";
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // file:line: Dx: message   (file may itself contain ':' on exotic
+    // platforms; parse from the check id outwards).
+    detlint::Finding f;
+    size_t pos = std::string::npos;
+    for (int check = 1; check <= 4; ++check) {
+      const std::string tag = ": D" + std::to_string(check) + ": ";
+      pos = line.find(tag);
+      if (pos != std::string::npos) {
+        f.check = static_cast<detlint::CheckId>(check);
+        f.message = line.substr(pos + tag.size());
+        break;
+      }
+    }
+    if (pos == std::string::npos) {
+      std::cerr << "detlint: malformed findings line: " << line << "\n";
+      return false;
+    }
+    const std::string location = line.substr(0, pos);
+    const size_t colon = location.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "detlint: malformed findings line: " << line << "\n";
+      return false;
+    }
+    f.file = location.substr(0, colon);
+    try {
+      f.line = std::stoi(location.substr(colon + 1));
+    } catch (...) {
+      std::cerr << "detlint: malformed findings line: " << line << "\n";
+      return false;
+    }
+    out->push_back(std::move(f));
+  }
+  return true;
+}
+
+int RunScan(const std::vector<std::string>& args) {
+  std::string root = ".";
+  detlint::ScanOptions options;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (FlagValue(arg, "root", &value)) {
+      root = value;
+    } else if (arg == "--include-suppressed") {
+      options.include_suppressed = true;
+    } else {
+      return Usage();
+    }
+  }
+  const std::vector<detlint::Finding> findings =
+      detlint::ScanTree(root, options);
+  int active = 0;
+  for (const detlint::Finding& f : findings) {
+    std::cout << detlint::FormatFinding(f) << "\n";
+    if (!f.suppressed) ++active;
+  }
+  if (active > 0) {
+    std::cerr << "detlint: " << active << " finding(s)\n";
+    return 1;
+  }
+  std::cerr << "detlint: clean\n";
+  return 0;
+}
+
+int RunSelfTest(const std::vector<std::string>& args) {
+  std::string corpus;
+  std::string findings_file;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (FlagValue(arg, "corpus", &value)) {
+      corpus = value;
+    } else if (FlagValue(arg, "findings", &value)) {
+      findings_file = value;
+    } else {
+      return Usage();
+    }
+  }
+  if (corpus.empty()) return Usage();
+
+  std::vector<detlint::Finding> external;
+  const std::vector<detlint::Finding>* external_ptr = nullptr;
+  if (!findings_file.empty()) {
+    if (!ParseFindingsFile(findings_file, &external)) return 2;
+    external_ptr = &external;
+  }
+  const std::vector<std::string> errors =
+      detlint::SelfTest(corpus, external_ptr);
+  for (const std::string& error : errors) {
+    std::cerr << "detlint self-test: " << error << "\n";
+  }
+  if (!errors.empty()) return 1;
+  std::cerr << "detlint self-test: pass ("
+            << (external_ptr != nullptr ? "external findings" : "portable mode")
+            << ")\n";
+  return 0;
+}
+
+int RunListChecks() {
+  using detlint::CheckId;
+  for (CheckId check :
+       {CheckId::kD1, CheckId::kD2, CheckId::kD3, CheckId::kD4}) {
+    std::cout << detlint::CheckName(check) << "  "
+              << detlint::CheckTitle(check) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string command = args.front();
+  args.erase(args.begin());
+  if (command == "scan") return RunScan(args);
+  if (command == "self-test") return RunSelfTest(args);
+  if (command == "list-checks" && args.empty()) return RunListChecks();
+  return Usage();
+}

@@ -1,0 +1,139 @@
+#ifndef PLANORDER_TOOLS_DETLINT_SCANNER_H_
+#define PLANORDER_TOOLS_DETLINT_SCANNER_H_
+
+#include <string>
+#include <vector>
+
+/// detlint — the project's determinism & concurrency static-analysis pass.
+///
+/// The system's headline guarantee (DESIGN.md §6, §8) is that emissions,
+/// utilities, eval counts and ranked answers are byte-identical at any
+/// thread count. The sim sweeps enforce that dynamically, for the schedules
+/// a seed happens to exercise; detlint enforces the *sources* of
+/// nondeterminism statically, for every line of the tree on every build:
+///
+///   D1  banned nondeterminism sources (wall clocks, ambient randomness,
+///       environment reads) outside the whitelisted shims
+///       (src/runtime/clock.*, src/base/rng.h)
+///   D2  unordered containers in the ordering/emission/answer paths
+///       (src/core, src/anyk, src/exec, src/sim), where hash-iteration
+///       order could reach an output sequence
+///   D3  floating-point accumulation in the weight fold paths (src/anyk),
+///       which must preserve the dyadic-rational bit-exactness invariant of
+///       anyk/weights.h by folding through AggregationCombine
+///   D4  associative containers keyed by pointer values, whose order is
+///       the allocator's, not the program's
+///
+/// Every check supports the same suppression syntax in both analysis modes
+/// (this portable token scanner, and the clang LibTooling variant built when
+/// a Clang development package is available):
+///
+///   // detlint: order-insensitive(reason)   — D2 only: the container's
+///        iteration order provably cannot reach any output
+///   // detlint: allow(D1, reason)           — any check, with a reason
+///
+/// A directive suppresses findings on its own line and the line directly
+/// below it (so a directive comment line annotates the declaration that
+/// follows). The golden corpus under tools/detlint/testdata/ seeds one or
+/// more violations per check, annotated with
+///
+///   // detlint-expect: D1[, D2...]          — this line must fire
+///   // detlint-expect-suppressed: D2        — would fire, must be silenced
+///
+/// and the self-test (run by both modes in CI) asserts exact agreement.
+namespace planorder::detlint {
+
+enum class CheckId { kD1 = 1, kD2, kD3, kD4 };
+
+/// Stable check identifier: "D1" ... "D4".
+std::string CheckName(CheckId check);
+
+/// One-line description of what the check bans and why.
+std::string CheckTitle(CheckId check);
+
+/// Parses "D1".."D4" (case-insensitive); returns false on anything else.
+bool ParseCheckId(const std::string& text, CheckId* out);
+
+struct Finding {
+  std::string file;  // repo-relative, '/'-separated
+  int line = 1;      // 1-based
+  CheckId check = CheckId::kD1;
+  std::string message;
+  /// True when an allow/order-insensitive directive covers the line. Scan
+  /// reports only unsuppressed findings; the self-test looks at both.
+  bool suppressed = false;
+};
+
+/// Scope/whitelist routing: whether `check` applies to the repo-relative
+/// path at all (e.g. D1 everywhere except the clock/rng shims; D2 only in
+/// the ordering/emission/answer directories).
+bool CheckAppliesTo(CheckId check, const std::string& relpath);
+
+/// True for paths the full-tree scan visits (.h/.cc under src/, bench/,
+/// tests/, examples/ and tools/ minus detlint's own sources and corpus).
+bool ScanVisits(const std::string& relpath);
+
+/// Per-file comment directives, pre-parsed so both analysis modes share one
+/// suppression semantics.
+struct Directives {
+  struct Suppression {
+    int line = 0;        // the directive's own line
+    bool any_check = false;  // order-insensitive(...) → D2
+    CheckId check = CheckId::kD2;
+    std::string reason;
+  };
+  struct Expectation {
+    int line = 0;
+    CheckId check = CheckId::kD1;
+    bool suppressed = false;  // detlint-expect-suppressed
+  };
+  std::vector<Suppression> suppressions;
+  std::vector<Expectation> expectations;
+  /// Optional `// detlint-scan-as: <relpath>` header used by corpus files,
+  /// which live outside the scanned trees but must exercise path scoping.
+  std::string scan_as;
+};
+
+/// Extracts directives from comments. Also the place suppression *syntax*
+/// is validated: a malformed directive (missing reason) is itself reported
+/// by the scanner.
+Directives ParseDirectives(const std::string& contents);
+
+/// True when a finding of `check` at `line` is covered by a suppression on
+/// the same line or the line directly above.
+bool IsSuppressed(const Directives& directives, CheckId check, int line);
+
+struct ScanOptions {
+  /// Report suppressed findings too (self-test mode).
+  bool include_suppressed = false;
+};
+
+/// Runs every check that applies to `relpath` over `contents`. Comments and
+/// string/char literals are stripped before matching, so a banned token in a
+/// message string never fires.
+std::vector<Finding> ScanFile(const std::string& relpath,
+                              const std::string& contents,
+                              const ScanOptions& options = {});
+
+/// Walks `root` for scannable files and runs ScanFile on each. Paths in the
+/// returned findings are repo-relative. Files are visited in sorted path
+/// order, so output is deterministic (of course).
+std::vector<Finding> ScanTree(const std::string& root,
+                              const ScanOptions& options = {});
+
+/// Corpus self-test over a directory of seeded-violation files: asserts
+/// that exactly the `detlint-expect` lines fire, that every
+/// `detlint-expect-suppressed` line is matched-but-silenced, and nothing
+/// else fires. `external_findings` substitutes findings produced by another
+/// analysis mode (the LibTooling tool) for the same corpus; pass nullptr to
+/// use this scanner. Returns human-readable failure lines; empty = pass.
+std::vector<std::string> SelfTest(
+    const std::string& corpus_dir,
+    const std::vector<Finding>* external_findings = nullptr);
+
+/// "file:line: Dx: message" — the interchange format of both modes.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace planorder::detlint
+
+#endif  // PLANORDER_TOOLS_DETLINT_SCANNER_H_

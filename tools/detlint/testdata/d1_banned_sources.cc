@@ -1,0 +1,50 @@
+// Seeded D1 violations: one per banned nondeterminism source, plus a
+// suppressed occurrence proving the allow() directive silences the check.
+// detlint-scan-as: src/service/example.cc
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace corpus {
+
+inline int AmbientRandom() {
+  return std::rand();  // detlint-expect: D1
+}
+
+inline unsigned HardwareEntropy() {
+  std::random_device device;  // detlint-expect: D1
+  return device();
+}
+
+inline void SeedAmbient(unsigned seed) {
+  std::srand(seed);  // detlint-expect: D1
+}
+
+inline double WallTimeMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now()  // detlint-expect: D1
+                 .time_since_epoch())
+      .count();
+}
+
+inline long long SystemClockNow() {
+  return std::chrono::system_clock::now()  // detlint-expect: D1
+      .time_since_epoch()
+      .count();
+}
+
+inline long EpochSeconds() {
+  return time(nullptr);  // detlint-expect: D1
+}
+
+inline const char* HomeDir() {
+  return std::getenv("HOME");  // detlint-expect: D1
+}
+
+inline long AllowedWallTime() {
+  // detlint: allow(D1, corpus: proves the directive silences the check)
+  return std::time(nullptr);  // detlint-expect-suppressed: D1
+}
+
+}  // namespace corpus

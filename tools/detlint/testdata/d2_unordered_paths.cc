@@ -1,0 +1,22 @@
+// Seeded D2 violations: unordered containers declared in an answer path,
+// plus an order-insensitive() annotation proving suppression.
+// detlint-scan-as: src/exec/example.cc
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace corpus {
+
+struct AnswerIndex {
+  std::unordered_map<std::string, int> by_name;  // detlint-expect: D2
+  std::unordered_set<int> emitted;  // detlint-expect: D2
+};
+
+inline int CountDistinct() {
+  // detlint: order-insensitive(corpus: membership-only dedup, never iterated)
+  std::unordered_set<int> seen;  // detlint-expect-suppressed: D2
+  seen.insert(1);
+  return static_cast<int>(seen.size());
+}
+
+}  // namespace corpus

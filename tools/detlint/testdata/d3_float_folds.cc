@@ -1,0 +1,32 @@
+// Seeded D3 violations: floating-point accumulation outside the
+// dyadic-rational fold contract of anyk/weights.h.
+// detlint-scan-as: src/anyk/example.cc
+#include <numeric>
+#include <vector>
+
+namespace corpus {
+
+inline double LossyAverage(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    total += 0.5 * w;  // detlint-expect: D3
+  }
+  return weights.empty() ? 0.0 : total / double(weights.size());
+}
+
+inline double NarrowedScale() {
+  float scale = 1.0f;  // detlint-expect: D3
+  return double(scale);
+}
+
+inline double FoldPrimitive(const std::vector<double>& w) {
+  return std::accumulate(w.begin(), w.end(), 0.0);  // detlint-expect: D3
+}
+
+inline double AllowedAccumulation(double base) {
+  // detlint: allow(D3, corpus: proves the directive silences the check)
+  base += 1.5;  // detlint-expect-suppressed: D3
+  return base;
+}
+
+}  // namespace corpus

@@ -1,0 +1,28 @@
+// Seeded D4 violations: associative containers keyed by pointer value. The
+// unordered one also trips D2 (it sits in an ordering path), proving one
+// line can carry expectations for two checks.
+// detlint-scan-as: src/core/example.cc
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace corpus {
+
+struct Node {
+  int id = 0;
+};
+
+struct PointerKeyed {
+  std::map<const Node*, int> rank_of;  // detlint-expect: D4
+  std::set<Node*> visited;  // detlint-expect: D4
+  std::unordered_set<const Node*> live;  // detlint-expect: D2, D4
+};
+
+inline int AllowedPointerKey(const Node* node) {
+  // detlint: allow(D4, corpus: proves the directive silences the check)
+  std::map<const Node*, int> scratch;  // detlint-expect-suppressed: D4
+  scratch[node] = 1;
+  return scratch.begin()->second;
+}
+
+}  // namespace corpus
