@@ -1,8 +1,10 @@
 #ifndef PLANORDER_BENCH_BENCH_FLAGS_H_
 #define PLANORDER_BENCH_BENCH_FLAGS_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <iostream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -41,6 +43,19 @@ inline std::string BenchUsage(const char* argv0) {
   return std::string("usage: ") + argv0 +
          " [output.json] [--threads=N[,M...]] [--repeats=R]" +
          " [--k=K[,K2...]] [--weights-seed=S]";
+}
+
+/// True when the run's thread sweep oversubscribes the machine — some
+/// requested pool exceeds the hardware thread count, so throughput numbers
+/// measure contention rather than scaling. Surfaced both as a stderr warning
+/// at parse time and as a field of the JSON artifact, because the artifact
+/// outlives the terminal that saw the warning.
+inline bool DegradedParallelism(const BenchFlags& flags) {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware == 0 || flags.threads.empty()) return false;
+  const int max_requested =
+      *std::max_element(flags.threads.begin(), flags.threads.end());
+  return max_requested > int(hardware);
 }
 
 inline BenchFlags ParseBenchFlags(int argc, char** argv,
@@ -106,6 +121,14 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv,
       have_output = true;
     }
   }
+  if (DegradedParallelism(flags)) {
+    std::cerr << "warning: --threads requests "
+              << *std::max_element(flags.threads.begin(), flags.threads.end())
+              << " workers but the machine has "
+              << std::thread::hardware_concurrency()
+              << " hardware threads; timings will reflect oversubscription "
+                 "(artifact flags degraded_parallelism=true)\n";
+  }
   return flags;
 }
 
@@ -128,6 +151,8 @@ inline std::string HostMetadataJson(const BenchFlags& flags) {
   out += ", \"threads\": " + int_list(flags.threads);
   out += ", \"k\": " + int_list(flags.ks);
   out += ", \"weights_seed\": " + std::to_string(flags.weights_seed);
+  out += std::string(", \"degraded_parallelism\": ") +
+         (DegradedParallelism(flags) ? "true" : "false");
   out += "}";
   return out;
 }

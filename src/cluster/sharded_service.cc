@@ -1,0 +1,76 @@
+#include "cluster/sharded_service.h"
+
+#include <utility>
+
+#include "datalog/canonicalize.h"
+
+namespace planorder::cluster {
+
+ShardedService::ShardedService(const datalog::Catalog* catalog,
+                               const datalog::Database* source_facts,
+                               ClusterOptions options,
+                               exec::PlanExecutor* executor)
+    : options_(std::move(options)) {
+  PLANORDER_CHECK_GE(options_.num_shards, 1);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    service::ServiceOptions shard_options = options_.shard;
+    if (options_.source_cache != nullptr) {
+      shard_options.source_cache_view = options_.source_cache;
+    }
+    shards_.push_back(std::make_unique<service::QueryService>(
+        catalog, source_facts, std::move(shard_options), executor));
+  }
+}
+
+int ShardedService::ShardFor(const datalog::ConjunctiveQuery& query) const {
+  // Canonical-form hash: isomorphic queries collapse to one canonical query
+  // (datalog/canonicalize.h), so every member of an isomorphism class routes
+  // to the same shard and shares its reformulation cache entry.
+  const datalog::CanonicalQuery canonical = datalog::CanonicalizeQuery(query);
+  return static_cast<int>(canonical.hash %
+                          static_cast<uint64_t>(shards_.size()));
+}
+
+StatusOr<std::unique_ptr<service::Session>> ShardedService::OpenSession(
+    const datalog::ConjunctiveQuery& query,
+    const exec::Mediator::RunLimits& limits) {
+  return shards_[static_cast<size_t>(ShardFor(query))]->OpenSession(query,
+                                                                    limits);
+}
+
+StatusOr<exec::MediatorResult> ShardedService::RunQuery(
+    const datalog::ConjunctiveQuery& query,
+    const exec::Mediator::RunLimits& limits) {
+  return shards_[static_cast<size_t>(ShardFor(query))]->RunQuery(query,
+                                                                 limits);
+}
+
+std::vector<service::ServiceMetricsSnapshot> ShardedService::PerShardMetrics()
+    const {
+  std::vector<service::ServiceMetricsSnapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  for (const std::unique_ptr<service::QueryService>& shard : shards_) {
+    snapshots.push_back(shard->Metrics());
+  }
+  return snapshots;
+}
+
+service::ServiceMetricsSnapshot ShardedService::MergedMetrics() const {
+  service::ServiceMetricsSnapshot merged;
+  service::LatencyHistogram all;
+  for (const std::unique_ptr<service::QueryService>& shard : shards_) {
+    merged.Merge(shard->Metrics());
+    all.Merge(shard->latency_histogram());
+  }
+  // Exact percentiles over the union of all shards' samples — the one part
+  // of a snapshot that cannot be derived from per-shard snapshots.
+  merged.latency_count = all.count();
+  merged.latency_p50_ms = all.Percentile(50.0);
+  merged.latency_p95_ms = all.Percentile(95.0);
+  merged.latency_p99_ms = all.Percentile(99.0);
+  merged.latency_max_ms = all.max_ms();
+  return merged;
+}
+
+}  // namespace planorder::cluster

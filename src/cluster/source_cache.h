@@ -1,0 +1,119 @@
+#ifndef PLANORDER_CLUSTER_SOURCE_CACHE_H_
+#define PLANORDER_CLUSTER_SOURCE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+#include "runtime/source_result_cache.h"
+#include "service/shared_view.h"
+
+namespace planorder::cluster {
+
+/// Configuration of a SourceOperationCache.
+struct SourceCacheOptions {
+  /// Approximate bound on resident payload bytes; eviction walks the LRU
+  /// tail until the cache fits. <= 0 means unbounded.
+  int64_t capacity_bytes = 1 << 20;
+};
+
+/// The cross-session source-operation result cache of the cluster layer
+/// (DESIGN.md §10): one instance shared by every shard's sessions through
+/// two narrow interfaces —
+///
+///  - runtime::SourceResultCache, consulted by RemoteSource on the fetch
+///    path: a resident entry is served with zero simulated latency, a miss
+///    elects a single-flight leader so concurrent sessions touching the same
+///    (source, binding-pattern, inputs) operation coalesce onto one fetch;
+///  - service::SharedOperationView, polled by every session's orderer before
+///    each plan emission: resident sources are charged zero residual cost by
+///    the Section 6 caching measures, so one session's fetch changes the
+///    conditional utilities of every other session's remaining plans.
+///
+/// Keys are the full call content: the source name, the set of bound
+/// positions and every binding value, folded into two independently salted
+/// 64-bit digests (a 128-bit effective key; collisions are negligible and
+/// never fabricated answers anyway, since any two calls with equal content
+/// are interchangeable by AccessibleSource determinism). Residency for the
+/// view is aggregated per source name — the granularity the utility models
+/// resolve (see shared_view.h).
+///
+/// Bounded by approximate payload bytes with LRU eviction: a hit refreshes
+/// recency, Publish inserts at the front and evicts from the tail. All state
+/// lives in ordered containers (std::map / std::list), so iteration order
+/// can never leak hash-table nondeterminism into any output.
+///
+/// Thread-safe. Waiting is purely on the single-flight protocol: Acquire
+/// blocks only while another caller's fetch for the same key is in flight.
+class SourceOperationCache : public runtime::SourceResultCache,
+                             public service::SharedOperationView {
+ public:
+  explicit SourceOperationCache(const SourceCacheOptions& options = {})
+      : options_(options) {}
+
+  SourceOperationCache(const SourceOperationCache&) = delete;
+  SourceOperationCache& operator=(const SourceOperationCache&) = delete;
+
+  // runtime::SourceResultCache:
+  std::optional<std::vector<std::vector<datalog::Term>>> Acquire(
+      const std::string& source_name,
+      const std::vector<std::map<int, datalog::Term>>& batch,
+      bool* leader) override EXCLUDES(mu_);
+  void Publish(const std::string& source_name,
+               const std::vector<std::map<int, datalog::Term>>& batch,
+               const std::vector<std::vector<datalog::Term>>& rows) override
+      EXCLUDES(mu_);
+  void Abort(const std::string& source_name,
+             const std::vector<std::map<int, datalog::Term>>& batch) override
+      EXCLUDES(mu_);
+
+  // service::SharedOperationView:
+  bool IsResident(const std::string& source_name) const override EXCLUDES(mu_);
+
+  runtime::SourceResultCacheStats stats() const EXCLUDES(mu_);
+
+ private:
+  /// (source name, two independent content digests) — the effective key.
+  using Key = std::tuple<std::string, uint64_t, uint64_t>;
+
+  struct Entry {
+    enum class State { kFetching, kResident, kAborted };
+    State state = State::kFetching;
+    std::vector<std::vector<datalog::Term>> rows;
+    int64_t bytes = 0;
+    /// Position in lru_ while resident.
+    std::list<Key>::iterator lru_pos;
+  };
+
+  static Key MakeKey(const std::string& source_name,
+                     const std::vector<std::map<int, datalog::Term>>& batch);
+  static int64_t ApproxBytes(
+      const std::vector<std::vector<datalog::Term>>& rows);
+
+  /// Removes LRU-tail entries until the byte bound holds.
+  void EvictToFit() REQUIRES(mu_);
+  void RemoveResident(const Key& key, std::shared_ptr<Entry> entry)
+      REQUIRES(mu_);
+
+  const SourceCacheOptions options_;
+  mutable Mutex mu_;
+  CondVar resolved_;
+  /// Resident and in-flight entries. Ordered map: keyed lookup plus
+  /// deterministic iteration if anyone ever walks it.
+  std::map<Key, std::shared_ptr<Entry>> entries_ GUARDED_BY(mu_);
+  /// Resident keys, most recently used first.
+  std::list<Key> lru_ GUARDED_BY(mu_);
+  /// Resident entry count per source name, backing IsResident.
+  std::map<std::string, int> resident_by_name_ GUARDED_BY(mu_);
+  runtime::SourceResultCacheStats stats_ GUARDED_BY(mu_);
+};
+
+}  // namespace planorder::cluster
+
+#endif  // PLANORDER_CLUSTER_SOURCE_CACHE_H_

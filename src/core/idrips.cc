@@ -47,6 +47,7 @@ IDripsOrderer::Candidate IDripsOrderer::MakeCandidate(
   c.model_lo = eval.model_lo;
   c.concrete = plan.IsConcrete();
   c.eval_epoch = static_cast<int64_t>(ctx().epoch());
+  c.eval_generation = ctx().external_generation();
   c.summaries = plan.Summaries();
   c.plan = std::move(plan);
   return c;
@@ -86,9 +87,17 @@ void IDripsOrderer::RefreshStaleCandidates() {
   // proven group-independent of everything executed since its evaluation
   // keeps its utility and just fast-forwards its epoch: this is the
   // incremental win over rebuilding the forests every emission.
+  const int64_t generation = ctx().external_generation();
   std::vector<uint8_t> stale(frontier_.size(), 0);
   evaluator().ParallelFor(frontier_.size(), [&](size_t i) {
     Candidate& c = frontier_[i];
+    // A flipped cross-session cache bit changes residual costs everywhere;
+    // the group-independence test only covers this session's executions, so
+    // a generation mismatch forces re-evaluation unconditionally.
+    if (c.eval_generation != generation) {
+      stale[i] = 1;
+      return;
+    }
     const utility::NodeSpan span(c.summaries.data(), c.summaries.size());
     for (size_t e = static_cast<size_t>(c.eval_epoch); e < executed.size();
          ++e) {
@@ -116,6 +125,7 @@ void IDripsOrderer::RefreshStaleCandidates() {
     c.utility = evals[j].utility;
     c.model_lo = evals[j].model_lo;
     c.eval_epoch = epoch;
+    c.eval_generation = generation;
   }
 }
 

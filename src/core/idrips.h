@@ -74,6 +74,11 @@ class IDripsOrderer : public Orderer {
     double model_lo = 0.0;
     bool concrete = false;
     int64_t eval_epoch = 0;
+    /// External-residency generation (ExecutionContext::external_generation)
+    /// at evaluation time; a mismatch means a cross-session cache bit flipped
+    /// since, so the enclosure must be recomputed regardless of
+    /// group-independence from the executed suffix.
+    int64_t eval_generation = 0;
   };
 
   IDripsOrderer(const stats::Workload* workload, utility::UtilityModel* model,

@@ -49,6 +49,16 @@ class Orderer {
 
   const utility::ExecutionContext& context() const { return ctx_; }
 
+  /// Declares the (bucket, source) operation resident (or evicted) in a
+  /// cross-session result cache (src/cluster/). Cached operations are charged
+  /// zero residual cost by the Section 6 caching measures, so flipping a bit
+  /// here changes the conditional utilities of every not-yet-emitted plan;
+  /// incremental orderers detect the change through the context's external
+  /// generation counter and re-evaluate stale frontier entries.
+  void SetExternallyCached(int bucket, int source, bool cached) {
+    ctx_.SetExternallyCached(bucket, source, cached);
+  }
+
   /// Injects a thread pool for batched utility evaluation. The pool is
   /// borrowed (callers keep ownership; a service shares one pool across all
   /// sessions) and may be null to run serially. Emission order, utilities

@@ -42,6 +42,7 @@ struct RuntimeAccounting {
   int64_t deadline_timeouts = 0;   // attempts cut off by the call deadline
   int64_t permanent_failures = 0;  // calls against a permanently dead source
   int64_t hedged_calls = 0;        // backup calls issued past the hedge delay
+  int64_t source_cache_hits = 0;   // fetches served by a shared result cache
   double latency_ms_total = 0.0;   // summed simulated latency across calls
   double latency_ms_max = 0.0;     // slowest single call
 
@@ -51,6 +52,7 @@ struct RuntimeAccounting {
     deadline_timeouts += other.deadline_timeouts;
     permanent_failures += other.permanent_failures;
     hedged_calls += other.hedged_calls;
+    source_cache_hits += other.source_cache_hits;
     latency_ms_total += other.latency_ms_total;
     if (other.latency_ms_max > latency_ms_max) {
       latency_ms_max = other.latency_ms_max;
@@ -76,6 +78,7 @@ struct RuntimeAccounting {
     delta.permanent_failures =
         permanent_failures - baseline.permanent_failures;
     delta.hedged_calls = hedged_calls - baseline.hedged_calls;
+    delta.source_cache_hits = source_cache_hits - baseline.source_cache_hits;
     delta.latency_ms_total = latency_ms_total - baseline.latency_ms_total;
     delta.latency_ms_max = latency_ms_max;
     return delta;

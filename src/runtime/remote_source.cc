@@ -41,6 +41,47 @@ StatusOr<std::vector<std::vector<datalog::Term>>> RemoteSource::FetchBatch(
     const std::vector<std::map<int, datalog::Term>>& batch,
     const RetryPolicy& retry, double* simulated_ms,
     exec::RuntimeAccounting* accounting) {
+  if (cache_ == nullptr) {
+    return FetchBatchUncached(batch, retry, simulated_ms, accounting);
+  }
+  // Single-flight protocol: a hit returns the rows free of charge — no
+  // latency draws, no sleeping, no retries — mirroring the zero residual
+  // cost the utility measures assign to cached operations. On a miss this
+  // call is the leader; it pays the full resilient fetch and publishes so
+  // concurrent sessions waiting on the same key all hit. A failed leader
+  // aborts, and Acquire promotes one waiter to retry — so permanent outages
+  // fail every caller instead of wedging the key.
+  while (true) {
+    bool leader = false;
+    std::optional<std::vector<std::vector<datalog::Term>>> hit =
+        cache_->Acquire(name(), batch, &leader);
+    if (hit.has_value()) {
+      exec::RuntimeAccounting acct;
+      ++acct.source_cache_hits;
+      {
+        MutexLock lock(mu_);
+        stats_.Merge(acct);
+      }
+      if (accounting != nullptr) accounting->Merge(acct);
+      return *std::move(hit);
+    }
+    if (!leader) continue;  // leader aborted before us; try again
+    StatusOr<std::vector<std::vector<datalog::Term>>> rows =
+        FetchBatchUncached(batch, retry, simulated_ms, accounting);
+    if (rows.ok()) {
+      cache_->Publish(name(), batch, *rows);
+    } else {
+      cache_->Abort(name(), batch);
+    }
+    return rows;
+  }
+}
+
+StatusOr<std::vector<std::vector<datalog::Term>>>
+RemoteSource::FetchBatchUncached(
+    const std::vector<std::map<int, datalog::Term>>& batch,
+    const RetryPolicy& retry, double* simulated_ms,
+    exec::RuntimeAccounting* accounting) {
   // Accounting accrues call-locally and commits on every exit path: once
   // into the shared per-source stats (under the lock) and once into the
   // caller's attribution channel, so concurrent callers never see each
@@ -211,6 +252,10 @@ void RemoteRegistry::set_time_dilation(double dilation) {
 
 void RemoteRegistry::set_clock(Clock* clock) {
   for (auto& [unused, source] : sources_) source->set_clock(clock);
+}
+
+void RemoteRegistry::set_result_cache(SourceResultCache* cache) {
+  for (auto& [unused, source] : sources_) source->set_result_cache(cache);
 }
 
 exec::RuntimeAccounting RemoteRegistry::TotalStats() const {

@@ -15,6 +15,7 @@
 #include "exec/source_access.h"
 #include "runtime/clock.h"
 #include "runtime/retry_policy.h"
+#include "runtime/source_result_cache.h"
 
 namespace planorder::runtime {
 
@@ -83,6 +84,15 @@ class RemoteSource {
   void set_clock(Clock* clock) { clock_ = clock; }
   Clock& clock() const { return *clock_; }
 
+  /// Attaches a shared cross-session result cache (borrowed, may be null).
+  /// With a cache, FetchBatch first consults it: a hit returns the cached
+  /// rows with zero simulated latency (and no network-model draws — the
+  /// cached operation is free, per the Section 6 caching semantics); a miss
+  /// elects this call single-flight leader, performs the real fetch and
+  /// publishes the rows. Like set_model, must be called before concurrent
+  /// calls begin.
+  void set_result_cache(SourceResultCache* cache) { cache_ = cache; }
+
   /// One resilient batched access (semantics of AccessibleSource::FetchBatch,
   /// including the uniform-position-set precondition). Transient failures
   /// and deadline timeouts are retried per `retry`; exhausting attempts or a
@@ -106,11 +116,20 @@ class RemoteSource {
   void ResetStats() EXCLUDES(mu_);
 
  private:
+  /// The pre-cache fetch path: the full resilient access (network model,
+  /// faults, retries, accounting). FetchBatch delegates here on a cache miss
+  /// (as single-flight leader) or when no cache is attached.
+  StatusOr<std::vector<std::vector<datalog::Term>>> FetchBatchUncached(
+      const std::vector<std::map<int, datalog::Term>>& batch,
+      const RetryPolicy& retry, double* simulated_ms,
+      exec::RuntimeAccounting* accounting) EXCLUDES(mu_);
+
   exec::AccessibleSource* source_;  // fetches serialized under mu_
   uint64_t seed_;
   NetworkModel model_;
   double time_dilation_ = 1.0;
   Clock* clock_ = RealClock::Instance();
+  SourceResultCache* cache_ = nullptr;
   mutable Mutex mu_;
   exec::RuntimeAccounting stats_ GUARDED_BY(mu_);
 };
@@ -133,6 +152,9 @@ class RemoteRegistry {
   void set_time_dilation(double dilation);
   /// Routes every source's simulated waits through `clock` (borrowed).
   void set_clock(Clock* clock);
+  /// Attaches one shared result cache to every source (borrowed, may be
+  /// null to detach).
+  void set_result_cache(SourceResultCache* cache);
 
   /// Aggregated runtime accounting across sources.
   exec::RuntimeAccounting TotalStats() const;

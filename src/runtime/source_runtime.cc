@@ -13,6 +13,9 @@ SourceRuntime::SourceRuntime(exec::SourceRegistry* sources,
   remotes_.ConfigureAll(options_.default_model);
   remotes_.set_time_dilation(options_.time_dilation);
   if (options_.clock != nullptr) remotes_.set_clock(options_.clock);
+  if (options_.source_cache != nullptr) {
+    remotes_.set_result_cache(options_.source_cache);
+  }
   join_options_.max_partitions = options_.max_partitions_per_call > 0
                                      ? options_.max_partitions_per_call
                                      : pool_.num_threads();

@@ -39,6 +39,10 @@ struct RuntimeOptions {
   /// Per-plan budget on simulated elapsed time; exceeded plans are reported
   /// as failed (discarded by the mediator). <= 0 = none.
   double plan_budget_ms = 0.0;
+  /// Shared cross-session source-operation result cache (borrowed, may be
+  /// null). When set, every RemoteSource consults it before paying network
+  /// latency — see RemoteSource::set_result_cache and src/cluster/.
+  SourceResultCache* source_cache = nullptr;
 };
 
 /// The runtime assembled: a thread pool + a RemoteRegistry over an

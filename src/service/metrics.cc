@@ -26,6 +26,23 @@ double LatencyHistogram::Percentile(double p) const {
   return sorted[rank == 0 ? 0 : rank - 1];
 }
 
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  // Snapshot first, then fold: never hold both locks at once (a pair of
+  // cross-merging histograms would deadlock under nested locking).
+  std::vector<double> theirs = other.Samples();
+  MutexLock lock(mu_);
+  for (const double ms : theirs) {
+    samples_.push_back(ms);
+    total_ms_ += ms;
+    if (ms > max_ms_) max_ms_ = ms;
+  }
+}
+
+std::vector<double> LatencyHistogram::Samples() const {
+  MutexLock lock(mu_);
+  return samples_;
+}
+
 size_t LatencyHistogram::count() const {
   MutexLock lock(mu_);
   return samples_.size();

@@ -26,6 +26,17 @@ class LatencyHistogram {
   double max_ms() const EXCLUDES(mu_);
   double total_ms() const EXCLUDES(mu_);
 
+  /// Folds `other`'s samples into this histogram. Because every sample is
+  /// kept, the merged percentiles are *exact* over the union — identical to
+  /// recording all samples into one histogram — which is what shard-level
+  /// aggregation needs (percentiles of per-shard snapshots cannot be merged;
+  /// raw samples can). Safe against concurrent Records on either side;
+  /// `other`'s samples are snapshotted first so the two locks never nest.
+  void Merge(const LatencyHistogram& other) EXCLUDES(mu_);
+
+  /// Copy of the raw samples, in record order.
+  std::vector<double> Samples() const EXCLUDES(mu_);
+
  private:
   mutable Mutex mu_;
   std::vector<double> samples_ GUARDED_BY(mu_);
@@ -68,6 +79,38 @@ struct ServiceMetricsSnapshot {
   int64_t total_steps = 0;
   /// Aggregated resilient-runtime accounting of all completed sessions.
   exec::RuntimeAccounting runtime;
+
+  /// Counter-wise sum with `other`: counts add, gauges/peaks take the max,
+  /// cache and runtime accounting merge. Latency *percentiles* are NOT
+  /// merged (percentiles of percentiles are meaningless) — latency_count,
+  /// max and the merged percentiles must be recomputed from the raw
+  /// histograms (LatencyHistogram::Merge); ShardedService::MergedMetrics
+  /// does exactly that. This member only folds the countable fields and
+  /// leaves the latency_* fields untouched.
+  void Merge(const ServiceMetricsSnapshot& other) {
+    sessions_admitted += other.sessions_admitted;
+    sessions_completed += other.sessions_completed;
+    sessions_shed += other.sessions_shed;
+    sessions_queued += other.sessions_queued;
+    active_sessions += other.active_sessions;
+    queue_depth += other.queue_depth;
+    if (other.queue_depth_peak > queue_depth_peak) {
+      queue_depth_peak = other.queue_depth_peak;
+    }
+    cache.hits += other.cache.hits;
+    cache.misses += other.cache.misses;
+    cache.collisions += other.cache.collisions;
+    cache.evictions += other.cache.evictions;
+    cache.insertions += other.cache.insertions;
+    cache.size += other.cache.size;
+    cache.capacity += other.cache.capacity;
+    canonicalizations += other.canonicalizations;
+    cache_verifications += other.cache_verifications;
+    cache_verification_failures += other.cache_verification_failures;
+    total_answers += other.total_answers;
+    total_steps += other.total_steps;
+    runtime.Merge(other.runtime);
+  }
 };
 
 }  // namespace planorder::service

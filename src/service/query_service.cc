@@ -9,7 +9,7 @@
 #include "core/streamer.h"
 #include "datalog/canonicalize.h"
 #include "datalog/containment.h"
-#include "utility/coverage_model.h"
+#include "utility/measures.h"
 
 namespace planorder::service {
 
@@ -122,7 +122,8 @@ StatusOr<QueryService::ReformulationOutcome> QueryService::Reformulate(
 
 Status QueryService::SetUpOrdering(Session& session) {
   const stats::Workload* workload = &session.reformulation_->workload;
-  session.model_ = std::make_unique<utility::CoverageModel>(workload);
+  PLANORDER_ASSIGN_OR_RETURN(
+      session.model_, utility::MakeMeasure(options_.measure, workload));
   std::vector<core::PlanSpace> spaces = {core::PlanSpace::FullSpace(*workload)};
   switch (options_.orderer) {
     case ServiceOptions::OrdererKind::kStreamer: {
@@ -156,7 +157,24 @@ StatusOr<std::unique_ptr<Session>> QueryService::PrepareSession(
   // and ~Session releases.
   std::unique_ptr<Session> session(
       new Session(this, std::move(reformed->entry), reformed->hit));
+  if (options_.source_cache_view != nullptr) {
+    // Resolve each (bucket, index) to its catalog source name once: the
+    // per-step residency refresh is then pure lookups against the view.
+    const auto& buckets = session->reformulation_->buckets.buckets;
+    session->source_names_.resize(buckets.size());
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      session->source_names_[b].reserve(buckets[b].size());
+      for (const datalog::SourceId id : buckets[b]) {
+        session->source_names_[b].push_back(catalog_->source(id).name);
+      }
+    }
+  }
   PLANORDER_RETURN_IF_ERROR(SetUpOrdering(*session));
+  if (options_.source_cache_view != nullptr) {
+    // Initial snapshot, so even a never-refreshed session (the injected
+    // stale-utility mode) orders against the open-time cache state.
+    session->RefreshResidency();
+  }
   return session;
 }
 

@@ -14,6 +14,8 @@
 #include "service/metrics.h"
 #include "service/reformulation_cache.h"
 #include "service/session.h"
+#include "service/shared_view.h"
+#include "utility/measures.h"
 
 namespace planorder::service {
 
@@ -37,6 +39,29 @@ struct ServiceOptions {
 
   enum class OrdererKind { kStreamer, kIDrips };
   OrdererKind orderer = OrdererKind::kStreamer;
+
+  /// Utility measure every session's orderer optimizes. Non-diminishing
+  /// measures (the caching variants) require OrdererKind::kIDrips —
+  /// Streamer::Create rejects them, and OpenSession surfaces that error.
+  utility::MeasureKind measure = utility::MeasureKind::kCoverage;
+
+  /// Read-only residency view of a cross-session source-operation cache
+  /// (borrowed, may be null). When set, each session polls it before every
+  /// plan emission and marks resident sources externally cached in its
+  /// orderer, so cached operations are charged zero residual cost by the
+  /// cache-aware measures — see src/cluster/ and DESIGN.md §10.
+  SharedOperationView* source_cache_view = nullptr;
+
+  /// Test hook: when false, sessions poll the residency view once at open
+  /// and never again — deliberately reproducing the stale-utility bug the
+  /// sim multi-session property must catch (utilities no longer reflect
+  /// cache state at eval time). Production code never clears this.
+  bool refresh_source_cache_view = true;
+
+  /// Test hook: sessions record the residency snapshot applied before each
+  /// step (Session::residency_history), letting the sim property check each
+  /// step's utility against the exact cache state it was evaluated under.
+  bool record_residency_snapshots = false;
 
   /// Worker threads of the service-owned pool shared by every session's
   /// orderer for batched utility evaluation (plan order and utilities are
@@ -107,6 +132,11 @@ class QueryService {
       const exec::Mediator::RunLimits& limits);
 
   ServiceMetricsSnapshot Metrics() const;
+
+  /// The raw end-to-end session latency samples — shard aggregation merges
+  /// these to compute exact cross-shard percentiles (percentiles of
+  /// per-shard snapshots cannot be merged; raw samples can).
+  const LatencyHistogram& latency_histogram() const { return latency_; }
 
   const ServiceOptions& options() const { return options_; }
 

@@ -16,9 +16,31 @@ Session::Session(QueryService* service,
 
 Session::~Session() { Finish(); }
 
+void Session::RefreshResidency() {
+  const SharedOperationView* view = service_->options_.source_cache_view;
+  if (view == nullptr || orderer_ == nullptr) return;
+  for (size_t b = 0; b < source_names_.size(); ++b) {
+    for (size_t i = 0; i < source_names_[b].size(); ++i) {
+      orderer_->SetExternallyCached(static_cast<int>(b), static_cast<int>(i),
+                                    view->IsResident(source_names_[b][i]));
+    }
+  }
+}
+
 StatusOr<exec::MediatorStep> Session::NextStep() {
   if (finished_ || !stream_.has_value()) {
     return NotFoundError("session is finished");
+  }
+  // Pull the cross-session cache state forward before the orderer picks the
+  // next plan: another session's fetch since our last step may have zeroed
+  // the residual cost of some source operations, which changes the
+  // conditional utilities this emission must be ranked under.
+  if (service_->options_.refresh_source_cache_view) RefreshResidency();
+  if (service_->options_.record_residency_snapshots &&
+      service_->options_.source_cache_view != nullptr) {
+    std::vector<std::vector<char>> snapshot =
+        orderer_->context().external_residency();
+    residency_history_.push_back(std::move(snapshot));
   }
   return stream_->NextStep();
 }

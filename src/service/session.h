@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "anyk/ranked_stream.h"
@@ -74,11 +75,25 @@ class Session {
   /// True when this session's reformulation came from the cache.
   bool cache_hit() const { return cache_hit_; }
 
+  /// With ServiceOptions::record_residency_snapshots: the external-residency
+  /// snapshot (bucket-major, 1 = resident in the cross-session cache) that
+  /// was applied to the orderer before each NextStep, in step order. The sim
+  /// multi-session property replays utilities against exactly these states.
+  const std::vector<std::vector<std::vector<char>>>& residency_history()
+      const {
+    return residency_history_;
+  }
+
   /// The canonical form the session runs under (hit and cold sessions of
   /// one isomorphism class see the identical query and plan space).
   const datalog::CanonicalQuery& canonical() const {
     return reformulation_->canonical;
   }
+
+  /// The full shared reformulation (canonical form, buckets, workload) this
+  /// session orders over — the sim multi-session property re-evaluates step
+  /// utilities against exactly this workload.
+  const CachedReformulation& reformulation() const { return *reformulation_; }
 
  private:
   friend class QueryService;
@@ -86,6 +101,12 @@ class Session {
   Session(QueryService* service,
           std::shared_ptr<const CachedReformulation> reformulation,
           bool cache_hit);
+
+  /// Polls the service's SharedOperationView and marks each (bucket, source)
+  /// externally cached in the orderer per the view's current residency. The
+  /// orderer's generation counter makes unchanged polls free and changed
+  /// ones invalidate exactly the stale frontier utilities.
+  void RefreshResidency();
 
   QueryService* service_;
   std::shared_ptr<const CachedReformulation> reformulation_;
@@ -95,6 +116,11 @@ class Session {
   std::unique_ptr<exec::Mediator> mediator_;
   std::optional<exec::MediatorStream> stream_;
   std::optional<anyk::RankedAnswerStream> ranked_;
+  /// Catalog name of each (bucket, index) source; populated by the service
+  /// only when a SharedOperationView is configured.
+  std::vector<std::vector<std::string>> source_names_;
+  /// See residency_history().
+  std::vector<std::vector<std::vector<char>>> residency_history_;
   /// Admission timestamp on the service's runtime::Clock — the service layer
   /// never reads the wall clock directly, so an injected VirtualClock makes
   /// latency metrics deterministic too (ServiceOptions::clock).

@@ -1,0 +1,35 @@
+#ifndef PLANORDER_SERVICE_SHARED_VIEW_H_
+#define PLANORDER_SERVICE_SHARED_VIEW_H_
+
+#include <string>
+
+namespace planorder::service {
+
+/// The ordering layer's read-only view of a cross-session source-operation
+/// result cache (src/cluster/SourceOperationCache implements it). Sessions
+/// poll it before each plan emission and mark resident sources as externally
+/// cached in their orderer's ExecutionContext, so the Section 6 caching
+/// measures charge them zero residual cost — another session's fetch changes
+/// this session's conditional utilities.
+///
+/// Residency is reported per source *name*: the physical cache keys on the
+/// full call content (name, bound positions, binding values), but utility
+/// models only resolve (bucket, source) pairs — the same granularity at
+/// which in-session caching is modeled (ExecutionContext::IsCached). A
+/// name-level hit is therefore an approximation in exactly the sense the
+/// paper's measures already are: "an operation against this source has been
+/// paid for once".
+///
+/// Implementations must be thread-safe; sessions on every shard poll
+/// concurrently with fetch-path insertions and evictions.
+class SharedOperationView {
+ public:
+  virtual ~SharedOperationView() = default;
+
+  /// True when at least one operation result of `source_name` is resident.
+  virtual bool IsResident(const std::string& source_name) const = 0;
+};
+
+}  // namespace planorder::service
+
+#endif  // PLANORDER_SERVICE_SHARED_VIEW_H_

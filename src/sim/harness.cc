@@ -209,6 +209,15 @@ Status RunScenario(const Scenario& scenario, const SimOptions& options,
     ++local.checks;
   }
 
+  if (scenario.check_multi) {
+    Status status = CheckMultiSession(scenario, options.tolerance);
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "check=multi: " + std::string(status.message()));
+    }
+    ++local.checks;
+  }
+
   if (report != nullptr) report->Merge(local);
   return OkStatus();
 }

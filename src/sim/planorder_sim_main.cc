@@ -44,6 +44,8 @@ struct Flags {
   std::vector<int> threads;  // overrides scenario thread counts
   std::string anyk;         // "", "force" (ranked check on everywhere),
                             // or "only" (ranked check alone)
+  std::string multi;        // "", "force" (multi-session check on
+                            // everywhere), or "only" (that check alone)
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -86,6 +88,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
         return false;
       }
       flags->anyk = value;
+    } else if (ParseFlag(arg, "multi", &value)) {
+      if (value != "force" && value != "only") {
+        std::cerr << "--multi wants 'force' or 'only', got '" << value
+                  << "'\n";
+        return false;
+      }
+      flags->multi = value;
     } else if (arg == "--no-shrink") {
       flags->shrink = false;
     } else if (arg == "--verbose") {
@@ -111,6 +120,8 @@ void Usage() {
          "  --anyk=force|only   force the ranked (any-k) check on in every\n"
          "                      scenario; 'only' also turns every other\n"
          "                      check off (the CI ranked slice)\n"
+         "  --multi=force|only  likewise for the multi-session cluster\n"
+         "                      check (the CI cluster slice)\n"
          "  --replay=SEED:STEP  replay one sweep step\n"
          "  --replay-file=PATH  run a serialized (e.g. shrunk) scenario\n"
          "  --corpus=PATH       run every SEED:STEP line of a corpus file\n"
@@ -165,6 +176,15 @@ int Main(int argc, char** argv) {
         // Ranked check alone: no (measure, algo) sweeps, no runtime check.
         scenario.measures.clear();
         scenario.check_runtime = false;
+        scenario.check_multi = false;
+      }
+    }
+    if (!flags.multi.empty()) {
+      scenario.check_multi = true;
+      if (flags.multi == "only") {
+        scenario.measures.clear();
+        scenario.check_runtime = false;
+        scenario.check_ranked = false;
       }
     }
     return scenario;

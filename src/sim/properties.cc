@@ -1,14 +1,19 @@
 #include "sim/properties.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "anyk/brute_force.h"
 #include "anyk/ranked_stream.h"
 #include "base/rng.h"
+#include "cluster/sharded_service.h"
+#include "cluster/source_cache.h"
 #include "core/pi.h"
 #include "core/plan_space.h"
 #include "exec/mediator.h"
@@ -614,6 +619,256 @@ Status CheckRankedEmission(const Scenario& scenario,
     PLANORDER_RETURN_IF_ERROR(CompareRankedSequences(
         streamed, parallel,
         "ranked-parallel(threads=" + std::to_string(threads) + ")"));
+  }
+  return OkStatus();
+}
+
+namespace {
+
+/// Catalog name of every (bucket, index) slot of `session`'s reformulation —
+/// the coordinate system shared by the orderer's external-residency bits and
+/// the cache's per-name IsResident view.
+std::vector<std::vector<std::string>> SessionSourceNames(
+    const datalog::Catalog& catalog, const service::Session& session) {
+  const std::vector<std::vector<datalog::SourceId>>& buckets =
+      session.reformulation().buckets.buckets;
+  std::vector<std::vector<std::string>> names(buckets.size());
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    names[b].reserve(buckets[b].size());
+    for (datalog::SourceId id : buckets[b]) {
+      names[b].push_back(catalog.source(id).name);
+    }
+  }
+  return names;
+}
+
+/// Renders a session's distinct answers as sorted strings — the
+/// interleaving-invariant fingerprint two runs must agree on byte-for-byte.
+std::vector<std::string> SortedAnswerStrings(const service::Session& session) {
+  std::vector<std::string> rendered;
+  for (const std::vector<datalog::Term>& tuple : session.Answers()) {
+    std::ostringstream out;
+    for (const datalog::Term& term : tuple) out << term.ToString() << '|';
+    rendered.push_back(out.str());
+  }
+  std::sort(rendered.begin(), rendered.end());
+  return rendered;
+}
+
+/// Re-derives the utility `step` must have been emitted with: a fresh
+/// kFailureCache model over the session's shared workload, an execution
+/// context replaying the successful prefix plus exactly `residency` as the
+/// external (cross-session) cache bits. Any mismatch beyond `tolerance`
+/// means the orderer evaluated under a residency other than the one claimed
+/// — the stale-utility bug.
+Status VerifyStepUtility(const service::Session& session,
+                         const std::vector<exec::MediatorStep>& prior,
+                         const exec::MediatorStep& step,
+                         const std::vector<std::vector<char>>& residency,
+                         double tolerance, const std::string& label) {
+  const stats::Workload& workload = session.reformulation().workload;
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<utility::UtilityModel> model,
+      utility::MakeMeasure(utility::MeasureKind::kFailureCache, &workload));
+  utility::ExecutionContext ctx(&workload);
+  for (const exec::MediatorStep& p : prior) {
+    if (p.sound && p.executable && !p.failed) ctx.MarkExecuted(p.plan);
+  }
+  for (size_t b = 0; b < residency.size(); ++b) {
+    for (size_t i = 0; i < residency[b].size(); ++i) {
+      if (residency[b][i] != 0) {
+        ctx.SetExternallyCached(int(b), int(i), true);
+      }
+    }
+  }
+  const double expected = model->EvaluateConcrete(step.plan, ctx);
+  if (!(std::fabs(expected - step.estimated_utility) <= tolerance)) {
+    std::ostringstream out;
+    out.precision(17);
+    out << label << ": emitted utility " << step.estimated_utility
+        << " != " << expected
+        << " re-evaluated under the cache residency in effect when the step "
+        << "was ordered (stale cross-session utility)";
+    return InternalError(out.str());
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status CheckMultiSession(const Scenario& scenario, double tolerance) {
+  // Answer invariance requires every session to drain its *full* plan space:
+  // under a truncated budget the cache-dependent plan order would select
+  // different plan subsets per interleaving. Keep the full drain affordable.
+  if (scenario.NumPlans() > 200) return OkStatus();
+
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<exec::SyntheticDomain> domain,
+      exec::BuildSyntheticDomain(scenario.MakeWorkloadOptions(),
+                                 scenario.num_answers));
+  exec::SourceRegistry registry;
+  for (datalog::SourceId id = 0; id < domain->catalog.num_sources(); ++id) {
+    const std::string& name = domain->catalog.source(id).name;
+    PLANORDER_ASSIGN_OR_RETURN(exec::AccessibleSource * source,
+                               registry.Register(name, 2));
+    for (const auto& tuple : domain->source_facts.TuplesFor(name)) {
+      PLANORDER_RETURN_IF_ERROR(source->Add(tuple));
+    }
+  }
+
+  const int num_sessions = std::max(2, std::min(scenario.num_sessions, 8));
+  exec::Mediator::RunLimits limits;
+  limits.max_plans = int(scenario.NumPlans());
+
+  struct Fixture {
+    runtime::VirtualClock clock;
+    cluster::SourceOperationCache cache;
+    std::unique_ptr<runtime::SourceRuntime> runtime;
+    std::unique_ptr<cluster::ShardedService> service;
+  };
+  auto make_fixture = [&]() -> std::unique_ptr<Fixture> {
+    auto fx = std::make_unique<Fixture>();
+    runtime::RuntimeOptions ropts;
+    ropts.num_threads = 2;
+    ropts.seed = scenario.runtime_seed;
+    ropts.time_dilation = 0.0;
+    ropts.clock = &fx->clock;
+    ropts.default_model = scenario.MakeNetworkModel();
+    ropts.retry.max_attempts = scenario.retry_max_attempts;
+    ropts.source_cache = &fx->cache;
+    fx->runtime = std::make_unique<runtime::SourceRuntime>(&registry, ropts);
+
+    cluster::ClusterOptions copts;
+    copts.num_shards = std::max(1, std::min(scenario.num_shards, 8));
+    copts.source_cache = &fx->cache;
+    copts.shard.orderer = service::ServiceOptions::OrdererKind::kIDrips;
+    copts.shard.measure = utility::MeasureKind::kFailureCache;
+    // All sessions share one query class and therefore one home shard; size
+    // that shard to admit every client with no shedding or waiting.
+    copts.shard.max_active_sessions = num_sessions;
+    copts.shard.max_queued_admissions = num_sessions;
+    copts.shard.admission_timeout_ms = 0.0;
+    copts.shard.eval_threads = 0;
+    copts.shard.refresh_source_cache_view = !scenario.multi_inject_stale;
+    copts.shard.record_residency_snapshots = true;
+    copts.shard.clock = &fx->clock;
+    fx->service = std::make_unique<cluster::ShardedService>(
+        &domain->catalog, &domain->source_facts, copts, fx->runtime.get());
+    return fx;
+  };
+
+  // --- Pass 1: serial round-robin interleaving with the view-read oracle.
+  // Single-threaded, so the residency read here is exactly the residency the
+  // session's per-step refresh applies inside the following NextStep call.
+  struct SerialRun {
+    std::unique_ptr<service::Session> session;
+    std::vector<std::vector<std::string>> names;
+    std::vector<exec::MediatorStep> steps;
+    std::vector<std::string> answers;
+    bool done = false;
+  };
+  std::unique_ptr<Fixture> serial = make_fixture();
+  std::vector<SerialRun> runs(static_cast<size_t>(num_sessions));
+  for (SerialRun& run : runs) {
+    PLANORDER_ASSIGN_OR_RETURN(run.session,
+                               serial->service->OpenSession(domain->query,
+                                                            limits));
+    run.names = SessionSourceNames(domain->catalog, *run.session);
+  }
+  bool all_done = false;
+  while (!all_done) {
+    all_done = true;
+    for (int s = 0; s < num_sessions; ++s) {
+      SerialRun& run = runs[size_t(s)];
+      if (run.done) continue;
+      all_done = false;
+      std::vector<std::vector<char>> residency(run.names.size());
+      for (size_t b = 0; b < run.names.size(); ++b) {
+        residency[b].assign(run.names[b].size(), 0);
+        for (size_t i = 0; i < run.names[b].size(); ++i) {
+          residency[b][i] = serial->cache.IsResident(run.names[b][i]) ? 1 : 0;
+        }
+      }
+      StatusOr<exec::MediatorStep> step = run.session->NextStep();
+      if (!step.ok()) {
+        if (step.status().code() != StatusCode::kNotFound) {
+          return step.status();
+        }
+        run.done = true;
+        run.answers = SortedAnswerStrings(*run.session);
+        continue;
+      }
+      PLANORDER_RETURN_IF_ERROR(VerifyStepUtility(
+          *run.session, run.steps, *step, residency, tolerance,
+          "multi-serial session " + std::to_string(s) + " step " +
+              std::to_string(run.steps.size())));
+      run.steps.push_back(*std::move(step));
+    }
+  }
+
+  // --- Pass 2: free interleaving, one client thread per session. Answers
+  // must match the serial replay byte-for-byte, and every step's utility
+  // must be consistent with the residency snapshot its own session recorded
+  // when it applied the refresh (Session::residency_history).
+  std::unique_ptr<Fixture> parallel = make_fixture();
+  struct ParallelRun {
+    std::unique_ptr<service::Session> session;
+    std::vector<exec::MediatorStep> steps;
+    Status status;
+  };
+  std::vector<ParallelRun> par(static_cast<size_t>(num_sessions));
+  for (ParallelRun& run : par) {
+    PLANORDER_ASSIGN_OR_RETURN(run.session,
+                               parallel->service->OpenSession(domain->query,
+                                                              limits));
+  }
+  std::vector<std::thread> clients;
+  clients.reserve(size_t(num_sessions));
+  for (int s = 0; s < num_sessions; ++s) {
+    clients.emplace_back([&par, s] {
+      ParallelRun& run = par[size_t(s)];
+      while (true) {
+        StatusOr<exec::MediatorStep> step = run.session->NextStep();
+        if (!step.ok()) {
+          if (step.status().code() != StatusCode::kNotFound) {
+            run.status = step.status();
+          }
+          return;
+        }
+        run.steps.push_back(*std::move(step));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int s = 0; s < num_sessions; ++s) {
+    ParallelRun& run = par[size_t(s)];
+    PLANORDER_RETURN_IF_ERROR(run.status);
+    const std::vector<std::string> answers = SortedAnswerStrings(*run.session);
+    if (answers != runs[size_t(s)].answers) {
+      std::ostringstream out;
+      out << "multi-parallel session " << s << ": " << answers.size()
+          << " distinct answers differ from the serial replay ("
+          << runs[size_t(s)].answers.size()
+          << ") — interleaving changed the answer set";
+      return InternalError(out.str());
+    }
+    const std::vector<std::vector<std::vector<char>>>& history =
+        run.session->residency_history();
+    if (history.size() < run.steps.size()) {
+      return InternalError(
+          "multi-parallel session " + std::to_string(s) +
+          ": residency history shorter than the step sequence (" +
+          std::to_string(history.size()) + " < " +
+          std::to_string(run.steps.size()) + ")");
+    }
+    for (size_t k = 0; k < run.steps.size(); ++k) {
+      PLANORDER_RETURN_IF_ERROR(VerifyStepUtility(
+          *run.session, {run.steps.begin(), run.steps.begin() + long(k)},
+          run.steps[k], history[k], tolerance,
+          "multi-parallel session " + std::to_string(s) + " step " +
+              std::to_string(k)));
+    }
   }
   return OkStatus();
 }

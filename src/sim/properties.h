@@ -119,6 +119,26 @@ Status CheckRuntimeEquivalence(const Scenario& scenario);
 Status CheckRankedEmission(const Scenario& scenario,
                            uint64_t max_oracle_plans);
 
+/// Multi-session cluster property (DESIGN.md §10). Runs
+/// `scenario.num_sessions` sessions of the scenario's synthetic query class
+/// through a cluster::ShardedService whose shards share one
+/// cluster::SourceOperationCache, under a cache-aware utility measure
+/// (kFailureCache), and checks:
+///  (a) serial oracle — sessions interleaved round-robin on one thread:
+///      every emitted step's utility equals a fresh model evaluation under
+///      the exact cache residency the view reported when the step was
+///      ordered (utilities provably reflect cache state at eval time, the
+///      cross-session conditional-utility contract);
+///  (b) any interleaving — the same sessions driven by one client thread
+///      each: every session's answer set is byte-identical to its serial
+///      replay (sorted comparison; answers are interleaving-invariant
+///      because cached rows equal fetched rows), and each step's utility is
+///      self-consistent with the residency snapshot its session recorded;
+///  (c) with `scenario.multi_inject_stale` the per-step residency refresh is
+///      disabled — the deliberately planted stale-utility bug — and check
+///      (a) must fail (the sim self-test asserts it does).
+Status CheckMultiSession(const Scenario& scenario, double tolerance);
+
 }  // namespace planorder::sim
 
 #endif  // PLANORDER_SIM_PROPERTIES_H_

@@ -117,7 +117,8 @@ std::string Scenario::Summary() const {
       << " threads=" << JoinInts(thread_counts)
       << " probes=" << (probe_lower_bounds ? 1 : 0)
       << " runtime=" << (check_runtime ? 1 : 0)
-      << " ranked=" << (check_ranked ? 1 : 0);
+      << " ranked=" << (check_ranked ? 1 : 0)
+      << " multi=" << (check_multi ? 1 : 0);
   return out.str();
 }
 
@@ -145,7 +146,10 @@ std::string Scenario::Serialize() const {
       << " check_monotone=" << (check_monotone ? 1 : 0)
       << " check_relabel=" << (check_relabel ? 1 : 0)
       << " check_runtime=" << (check_runtime ? 1 : 0)
-      << " check_ranked=" << (check_ranked ? 1 : 0);
+      << " check_ranked=" << (check_ranked ? 1 : 0)
+      << " check_multi=" << (check_multi ? 1 : 0);
+  out << " num_sessions=" << num_sessions << " num_shards=" << num_shards
+      << " multi_inject_stale=" << (multi_inject_stale ? 1 : 0);
   out << " weights_seed=" << weights_seed
       << " ranked_aggregation=" << anyk::AggregationName(ranked_aggregation);
   out << " num_answers=" << num_answers << " runtime_seed=" << runtime_seed;
@@ -228,6 +232,14 @@ StatusOr<Scenario> Scenario::Deserialize(const std::string& line) {
         s.check_runtime = value != "0";
       } else if (key == "check_ranked") {
         s.check_ranked = value != "0";
+      } else if (key == "check_multi") {
+        s.check_multi = value != "0";
+      } else if (key == "num_sessions") {
+        s.num_sessions = std::stoi(value);
+      } else if (key == "num_shards") {
+        s.num_shards = std::stoi(value);
+      } else if (key == "multi_inject_stale") {
+        s.multi_inject_stale = value != "0";
       } else if (key == "weights_seed") {
         s.weights_seed = std::stoull(value);
       } else if (key == "ranked_aggregation") {
@@ -306,6 +318,9 @@ Scenario MakeScenario(uint64_t base_seed, int step) {
   s.retry_max_attempts = 64;
 
   s.check_ranked = rng.Bernoulli(0.5);
+  s.check_multi = rng.Bernoulli(0.35);
+  s.num_sessions = int(rng.UniformInt(2, 6));
+  s.num_shards = int(rng.UniformInt(1, 3));
   s.weights_seed = rng.engine()();
   s.ranked_aggregation = rng.Bernoulli(0.5) ? anyk::Aggregation::kSum
                                             : anyk::Aggregation::kMax;

@@ -72,6 +72,22 @@ struct Scenario {
   /// ranked metamorphic properties (monotone weight transform, relabeling,
   /// serial == parallel).
   bool check_ranked = false;
+  /// Multi-session cluster check (DESIGN.md §10): run several concurrent
+  /// sessions of the scenario's query class through a ShardedService sharing
+  /// one source-operation cache, and demand (a) every session's answer set
+  /// is byte-identical to a serial replay and (b) each emitted step's
+  /// utility equals a fresh evaluation under the cache residency the orderer
+  /// saw at that step.
+  bool check_multi = false;
+
+  // --- Multi-session knobs (check_multi) ---
+  int num_sessions = 4;
+  int num_shards = 2;
+  /// Fault injection: disable the per-step residency refresh
+  /// (ServiceOptions::refresh_source_cache_view = false), reproducing the
+  /// stale-utility bug the property exists to catch. Used by the sim self
+  /// test; never set by MakeScenario.
+  bool multi_inject_stale = false;
 
   // --- Ranked-enumeration knobs (check_ranked) ---
   uint64_t weights_seed = 1;

@@ -51,6 +51,9 @@ class Shrinker {
       return s.check_ranked;
     });
     changed |= DisableFlag([](Scenario& s) -> bool& {
+      return s.check_multi;
+    });
+    changed |= DisableFlag([](Scenario& s) -> bool& {
       return s.check_monotone;
     });
     changed |= DisableFlag([](Scenario& s) -> bool& {
@@ -65,6 +68,12 @@ class Shrinker {
       changed |= ShrinkInt(
           [](Scenario& s) -> int& { return s.num_answers; }, 10);
       changed |= QuietNetwork();
+    }
+    if (result_->scenario.check_multi) {
+      changed |= ShrinkInt(
+          [](Scenario& s) -> int& { return s.num_sessions; }, 2);
+      changed |= ShrinkInt(
+          [](Scenario& s) -> int& { return s.num_shards; }, 1);
     }
     return changed;
   }

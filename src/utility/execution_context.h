@@ -24,14 +24,24 @@ using ConcretePlan = std::vector<int>;
 ///  - the set of executed source operations (cost with caching), keyed by
 ///    (bucket, source): the first access caches the source's full answer for
 ///    that subgoal, later accesses are free.
+/// Beyond the session-local state, the context carries *externally* cached
+/// operations: (bucket, source) pairs whose results are resident in a
+/// cross-session cache (src/cluster/) rather than cached by this session's
+/// own executed plans. IsCached is the union of both, so the Section 6
+/// caching measures charge zero residual cost either way. External bits are
+/// versioned by a generation counter (bumped only on actual change) so
+/// incremental orderers can detect that utilities evaluated under an older
+/// residency snapshot are stale.
 class ExecutionContext {
  public:
   /// `workload` must outlive the context.
   explicit ExecutionContext(const stats::Workload* workload)
       : workload_(workload), universe_(workload->MakeUniverse()) {
     cached_.resize(workload->num_buckets());
+    external_.resize(workload->num_buckets());
     for (int b = 0; b < workload->num_buckets(); ++b) {
       cached_[b].assign(workload->bucket_size(b), 0);
+      external_[b].assign(workload->bucket_size(b), 0);
     }
   }
 
@@ -49,11 +59,16 @@ class ExecutionContext {
     executed_.push_back(plan);
   }
 
-  /// Forgets all executions.
+  /// Forgets all executions and external residency.
   void Reset() {
     universe_.Clear();
     executed_.clear();
     for (auto& bucket : cached_) bucket.assign(bucket.size(), 0);
+    for (size_t b = 0; b < external_.size(); ++b) {
+      for (size_t s = 0; s < external_[b].size(); ++s) {
+        SetExternallyCached(static_cast<int>(b), static_cast<int>(s), false);
+      }
+    }
   }
 
   const std::vector<ConcretePlan>& executed() const { return executed_; }
@@ -61,9 +76,30 @@ class ExecutionContext {
 
   const stats::CoverageUniverse& universe() const { return universe_; }
 
-  /// True when the (bucket, source) operation result is cached.
+  /// True when the (bucket, source) operation result is cached — by one of
+  /// this context's executed plans or externally (cross-session).
   bool IsCached(int bucket, int source) const {
-    return cached_[bucket][source] != 0;
+    return cached_[bucket][source] != 0 || external_[bucket][source] != 0;
+  }
+
+  /// Declares the (bucket, source) operation resident (or evicted) in a
+  /// cross-session cache. Bumps the generation only on an actual transition,
+  /// so refreshing an unchanged residency snapshot costs nothing downstream.
+  void SetExternallyCached(int bucket, int source, bool cached) {
+    const char bit = cached ? 1 : 0;
+    if (external_[bucket][source] == bit) return;
+    external_[bucket][source] = bit;
+    ++external_generation_;
+  }
+
+  /// Version counter of the external residency bits; increments exactly when
+  /// some bit flips. Orderers compare it against the generation recorded at
+  /// evaluation time to decide whether a cached utility is stale.
+  int64_t external_generation() const { return external_generation_; }
+
+  /// The current external-residency snapshot, bucket-major (1 = resident).
+  const std::vector<std::vector<char>>& external_residency() const {
+    return external_;
   }
 
  private:
@@ -71,6 +107,8 @@ class ExecutionContext {
   stats::CoverageUniverse universe_;
   std::vector<ConcretePlan> executed_;
   std::vector<std::vector<char>> cached_;
+  std::vector<std::vector<char>> external_;
+  int64_t external_generation_ = 0;
 };
 
 }  // namespace planorder::utility

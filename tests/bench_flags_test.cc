@@ -6,6 +6,7 @@
 #include "../bench/bench_flags.h"
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -50,6 +51,47 @@ TEST(BenchFlagsTest, UsageStringListsTheFullFlagSet) {
   EXPECT_NE(usage.find("--repeats="), std::string::npos);
   EXPECT_NE(usage.find("--k="), std::string::npos);
   EXPECT_NE(usage.find("--weights-seed="), std::string::npos);
+}
+
+TEST(BenchFlagsTest, DegradedParallelismFlagsOversubscription) {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) GTEST_SKIP() << "hardware_concurrency unknown here";
+
+  // At or below the hardware thread count: honest parallelism.
+  BenchFlags sane;
+  sane.threads = {1, int(hardware)};
+  EXPECT_FALSE(DegradedParallelism(sane));
+  EXPECT_NE(HostMetadataJson(sane).find("\"degraded_parallelism\": false"),
+            std::string::npos);
+
+  // One past it: the sweep oversubscribes, and the artifact must say so —
+  // the JSON outlives the stderr warning.
+  BenchFlags oversubscribed;
+  oversubscribed.threads = {1, int(hardware) + 1};
+  EXPECT_TRUE(DegradedParallelism(oversubscribed));
+  EXPECT_NE(HostMetadataJson(oversubscribed)
+                .find("\"degraded_parallelism\": true"),
+            std::string::npos);
+
+  // No thread sweep at all: nothing to oversubscribe.
+  BenchFlags empty;
+  EXPECT_FALSE(DegradedParallelism(empty));
+}
+
+TEST(BenchFlagsTest, OversubscribedParseWarnsOnStderr) {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) GTEST_SKIP() << "hardware_concurrency unknown here";
+  testing::internal::CaptureStderr();
+  const BenchFlags flags =
+      Parse({"--threads=" + std::to_string(hardware + 4)});
+  const std::string stderr_text = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(DegradedParallelism(flags));
+  EXPECT_NE(stderr_text.find("degraded_parallelism"), std::string::npos)
+      << "no oversubscription warning reached stderr: " << stderr_text;
+
+  testing::internal::CaptureStderr();
+  Parse({"--threads=1"});
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 }
 
 // The regex asserted on every death: the full usage line (with the PR-6

@@ -1,0 +1,282 @@
+// Tests of the sharded query service (src/cluster/): canonical routing,
+// shard-aware metrics aggregation, and the cross-session utility shift — a
+// warm source-operation cache changing a fresh session's plan utilities.
+
+#include "cluster/sharded_service.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/source_cache.h"
+#include "datalog/unify.h"
+#include "exec/synthetic_domain.h"
+#include "gtest/gtest.h"
+#include "runtime/source_runtime.h"
+#include "utility/measures.h"
+
+namespace planorder::cluster {
+namespace {
+
+struct Domain {
+  std::unique_ptr<exec::SyntheticDomain> synthetic;
+  exec::SourceRegistry registry;
+};
+
+Domain MakeDomain(uint64_t seed = 29) {
+  stats::WorkloadOptions wopts;
+  wopts.query_length = 2;
+  wopts.bucket_size = 3;
+  wopts.overlap_rate = 0.5;
+  wopts.regions_per_bucket = 8;
+  wopts.seed = seed;
+  auto built = exec::BuildSyntheticDomain(wopts, /*num_answers=*/120);
+  EXPECT_TRUE(built.ok()) << built.status();
+  Domain domain;
+  domain.synthetic = std::move(*built);
+  for (datalog::SourceId id = 0;
+       id < domain.synthetic->catalog.num_sources(); ++id) {
+    const std::string& name = domain.synthetic->catalog.source(id).name;
+    auto source = domain.registry.Register(name, 2);
+    EXPECT_TRUE(source.ok()) << source.status();
+    for (const auto& tuple :
+         domain.synthetic->source_facts.TuplesFor(name)) {
+      EXPECT_TRUE((*source)->Add(tuple).ok());
+    }
+  }
+  return domain;
+}
+
+datalog::ConjunctiveQuery RenameVariables(
+    const datalog::ConjunctiveQuery& query, const char* suffix) {
+  datalog::Substitution renaming;
+  auto collect = [&renaming, suffix](const datalog::Atom& atom) {
+    for (const datalog::Term& term : atom.args) {
+      if (term.is_variable()) {
+        renaming[term.name()] = datalog::Term::Variable(term.name() + suffix);
+      }
+    }
+  };
+  collect(query.head);
+  for (const datalog::Atom& atom : query.body) collect(atom);
+  datalog::ConjunctiveQuery renamed(
+      datalog::ApplySubstitution(query.head, renaming), {});
+  for (const datalog::Atom& atom : query.body) {
+    renamed.body.push_back(datalog::ApplySubstitution(atom, renaming));
+  }
+  return renamed;
+}
+
+exec::Mediator::RunLimits FullDrain(const exec::SyntheticDomain& d) {
+  exec::Mediator::RunLimits limits;
+  int num_plans = 1;
+  for (int b = 0; b < d.workload.num_buckets(); ++b) {
+    num_plans *= d.workload.bucket_size(b);
+  }
+  limits.max_plans = num_plans;
+  return limits;
+}
+
+TEST(ShardedServiceTest, IsomorphicQueriesRouteToOneShard) {
+  Domain domain = MakeDomain();
+  const exec::SyntheticDomain& d = *domain.synthetic;
+  ClusterOptions options;
+  options.num_shards = 4;
+  ShardedService service(&d.catalog, &d.source_facts, options);
+  ASSERT_EQ(service.num_shards(), 4);
+
+  const int home = service.ShardFor(d.query);
+  EXPECT_GE(home, 0);
+  EXPECT_LT(home, 4);
+  // Variable renaming never changes the canonical form, so never the shard.
+  EXPECT_EQ(service.ShardFor(RenameVariables(d.query, "_x")), home);
+  EXPECT_EQ(service.ShardFor(RenameVariables(d.query, "_yz")), home);
+}
+
+TEST(ShardedServiceTest, SessionsLandOnTheHomeShardOnly) {
+  Domain domain = MakeDomain();
+  const exec::SyntheticDomain& d = *domain.synthetic;
+  ClusterOptions options;
+  options.num_shards = 3;
+  ShardedService service(&d.catalog, &d.source_facts, options);
+  const int home = service.ShardFor(d.query);
+
+  exec::Mediator::RunLimits limits;
+  limits.max_plans = 1;
+  for (int i = 0; i < 3; ++i) {
+    auto result = service.RunQuery(RenameVariables(d.query, "_v"), limits);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  const std::vector<service::ServiceMetricsSnapshot> per_shard =
+      service.PerShardMetrics();
+  ASSERT_EQ(int(per_shard.size()), 3);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(per_shard[size_t(s)].sessions_completed, s == home ? 3 : 0)
+        << "shard " << s;
+  }
+}
+
+TEST(ShardedServiceTest, MergedMetricsPoolCountersAndLatencySamples) {
+  Domain domain = MakeDomain();
+  const exec::SyntheticDomain& d = *domain.synthetic;
+  ClusterOptions options;
+  options.num_shards = 2;
+  ShardedService service(&d.catalog, &d.source_facts, options);
+
+  // The base query and its head-rotated variant are distinct canonical
+  // classes; with luck they spread over both shards, but the aggregation
+  // invariants below hold either way.
+  datalog::ConjunctiveQuery rotated = d.query;
+  if (rotated.head.args.size() > 1) {
+    std::rotate(rotated.head.args.begin(), rotated.head.args.begin() + 1,
+                rotated.head.args.end());
+  }
+  exec::Mediator::RunLimits limits;
+  limits.max_plans = 1;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(service.RunQuery(d.query, limits).ok());
+    ASSERT_TRUE(service.RunQuery(rotated, limits).ok());
+  }
+
+  const std::vector<service::ServiceMetricsSnapshot> per_shard =
+      service.PerShardMetrics();
+  const service::ServiceMetricsSnapshot merged = service.MergedMetrics();
+  int64_t completed = 0;
+  size_t latency_count = 0;
+  double latency_max = 0.0;
+  for (const auto& m : per_shard) {
+    completed += m.sessions_completed;
+    latency_count += m.latency_count;
+    if (m.latency_max_ms > latency_max) latency_max = m.latency_max_ms;
+  }
+  EXPECT_EQ(merged.sessions_completed, completed);
+  EXPECT_EQ(merged.sessions_completed, 4);
+  // Percentiles recomputed over the pooled raw samples, not averaged.
+  EXPECT_EQ(merged.latency_count, latency_count);
+  EXPECT_DOUBLE_EQ(merged.latency_max_ms, latency_max);
+  EXPECT_LE(merged.latency_p50_ms, merged.latency_p99_ms);
+  EXPECT_LE(merged.latency_p99_ms, merged.latency_max_ms);
+}
+
+/// The tentpole semantics: a fresh session against a warm cross-session
+/// cache must (a) fetch through the cache (runtime hits > 0) and (b) order
+/// under *different* utilities than the cold run — the Section 6 caching
+/// measure charges resident operations zero residual cost.
+TEST(ShardedServiceTest, WarmCacheShiftsSecondSessionUtilities) {
+  Domain domain = MakeDomain();
+  const exec::SyntheticDomain& d = *domain.synthetic;
+
+  SourceOperationCache cache;
+  runtime::RuntimeOptions ropts;
+  ropts.num_threads = 2;
+  ropts.time_dilation = 0.0;
+  ropts.source_cache = &cache;
+  runtime::SourceRuntime runtime(&domain.registry, ropts);
+
+  ClusterOptions options;
+  options.num_shards = 2;
+  options.source_cache = &cache;
+  options.shard.orderer = service::ServiceOptions::OrdererKind::kIDrips;
+  options.shard.measure = utility::MeasureKind::kFailureCache;
+  ShardedService service(&d.catalog, &d.source_facts, options, &runtime);
+  const exec::Mediator::RunLimits limits = FullDrain(d);
+
+  auto drain = [&service, &d, &limits]() {
+    std::vector<exec::MediatorStep> steps;
+    auto session = service.OpenSession(d.query, limits);
+    EXPECT_TRUE(session.ok()) << session.status();
+    while (true) {
+      auto step = (*session)->NextStep();
+      if (!step.ok()) break;
+      steps.push_back(*step);
+    }
+    (*session)->Finish();
+    return steps;
+  };
+
+  const std::vector<exec::MediatorStep> cold = drain();
+  ASSERT_FALSE(cold.empty());
+  // Distinct plans of ONE session already reuse operations (intra-session
+  // hits); what the cluster layer adds is the cross-session delta below.
+  const int64_t cold_hits = cache.stats().hits;
+  ASSERT_GT(cache.stats().resident_entries, 0);
+
+  const std::vector<exec::MediatorStep> warm = drain();
+  ASSERT_EQ(warm.size(), cold.size());
+  // (a) The warm session's fetches were served by the shared cache.
+  EXPECT_GT(cache.stats().hits, cold_hits);
+  EXPECT_GT(service.MergedMetrics().runtime.source_cache_hits, 0);
+  // (b) At least the first emission's utility reflects the residency: with
+  // every source of the space resident, the failure/cache measure sees a
+  // different (cheaper) world than the cold run did.
+  bool utilities_differ = false;
+  for (size_t i = 0; i < cold.size(); ++i) {
+    if (cold[i].plan != warm[i].plan ||
+        cold[i].estimated_utility != warm[i].estimated_utility) {
+      utilities_differ = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(utilities_differ)
+      << "a fully warm cache left every utility untouched";
+  // Answers are unaffected: cached rows equal fetched rows.
+  size_t cold_answers = cold.back().total_answers;
+  size_t warm_answers = warm.back().total_answers;
+  EXPECT_EQ(cold_answers, warm_answers);
+}
+
+/// The test hook behind the sim's injected bug: with the per-step refresh
+/// disabled a warm-cache session reproduces the cold utilities exactly —
+/// stale, since the cache is resident. This pins the hook's semantics (and
+/// with it the property's ability to catch the bug).
+TEST(ShardedServiceTest, DisabledRefreshReproducesStaleUtilities) {
+  Domain domain = MakeDomain();
+  const exec::SyntheticDomain& d = *domain.synthetic;
+
+  auto run_second_session = [&domain, &d](bool refresh) {
+    SourceOperationCache cache;
+    runtime::RuntimeOptions ropts;
+    ropts.num_threads = 2;
+    ropts.time_dilation = 0.0;
+    ropts.source_cache = &cache;
+    runtime::SourceRuntime runtime(&domain.registry, ropts);
+    ClusterOptions options;
+    options.num_shards = 1;
+    options.source_cache = &cache;
+    options.shard.orderer = service::ServiceOptions::OrdererKind::kIDrips;
+    options.shard.measure = utility::MeasureKind::kFailureCache;
+    options.shard.refresh_source_cache_view = refresh;
+    ShardedService service(&d.catalog, &d.source_facts, options, &runtime);
+    const exec::Mediator::RunLimits limits = FullDrain(d);
+    // Open BOTH sessions before any execution, so the second session's
+    // open-time snapshot is empty — only the per-step refresh can tell it
+    // about the residency the first session's drain creates.
+    auto first = service.OpenSession(d.query, limits);
+    auto second = service.OpenSession(d.query, limits);
+    EXPECT_TRUE(first.ok() && second.ok());
+    while ((*first)->NextStep().ok()) {
+    }
+    (*first)->Finish();
+    std::vector<double> second_utilities;
+    while (true) {
+      auto step = (*second)->NextStep();
+      if (!step.ok()) break;
+      second_utilities.push_back(step->estimated_utility);
+    }
+    (*second)->Finish();
+    return second_utilities;
+  };
+
+  // Both sessions open before any execution, so the open-time snapshot is
+  // empty: a refresh-disabled second session orders exactly like a cold one.
+  const std::vector<double> fresh = run_second_session(true);
+  const std::vector<double> stale = run_second_session(false);
+  ASSERT_EQ(fresh.size(), stale.size());
+  EXPECT_NE(fresh, stale)
+      << "refresh on/off made no difference; the stale hook is dead";
+}
+
+}  // namespace
+}  // namespace planorder::cluster

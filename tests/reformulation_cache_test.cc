@@ -1,7 +1,10 @@
 #include "service/reformulation_cache.h"
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -100,6 +103,49 @@ TEST(ReformulationCacheTest, ReinsertSameKeyReplacesInPlace) {
   cache.Insert(EntryFor("Q(Y) :- r(Y)."));  // isomorph: same key
   EXPECT_EQ(cache.stats().size, 1u);
   EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+TEST(ReformulationCacheTest, EvictionStaysDeterministicUnderConcurrentHits) {
+  // Many threads hammer hits on two resident entries of a capacity-2 cache.
+  // The races perturb only the relative recency of a and b; they must never
+  // lose a hit count, tear an entry, or trip an eviction. Afterwards one
+  // sequential hit pins `a` as most recently used, so the next insert's LRU
+  // victim is fully determined again — concurrency cannot leave the recency
+  // list in a state where eviction picks a hit-refreshed entry.
+  ReformulationCache cache(2);
+  auto a = EntryFor("Q(X) :- r(X).");
+  auto b = EntryFor("Q(X) :- s(X).");
+  cache.Insert(a);
+  cache.Insert(b);
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &a, &b] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        ASSERT_NE(cache.Lookup(a->canonical), nullptr);
+        ASSERT_NE(cache.Lookup(b->canonical), nullptr);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  ReformulationCache::Stats stats = cache.stats();
+  // Exact hit accounting: no lost updates under contention. (+2 misses from
+  // the initial inserts' lookups never happened — Insert doesn't look up.)
+  EXPECT_EQ(stats.hits, int64_t(kThreads) * kItersPerThread * 2);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.size, 2u);
+
+  // A final sequential hit refreshes `a`'s recency deterministically; the
+  // insert that overflows capacity must therefore evict `b`.
+  ASSERT_NE(cache.Lookup(a->canonical), nullptr);
+  cache.Insert(EntryFor("Q(X) :- t(X)."));
+  EXPECT_NE(cache.Lookup(a->canonical), nullptr);
+  EXPECT_EQ(cache.Lookup(b->canonical), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().size, 2u);
 }
 
 }  // namespace

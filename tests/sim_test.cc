@@ -181,5 +181,60 @@ TEST(SimHarnessTest, RunScenarioSmoke) {
   EXPECT_GT(report.checks, 0);
 }
 
+/// A small scenario with the multi-session cluster check forced on: serial
+/// oracle, concurrent replay and answer comparison all hold on correct code.
+Scenario MultiScenario() {
+  Scenario scenario = MakeScenario(31, 0);
+  scenario.query_length = 2;
+  scenario.bucket_size = 3;
+  scenario.num_answers = 60;
+  scenario.measures.clear();  // the multi check alone
+  scenario.check_oracle = false;
+  scenario.check_monotone = false;
+  scenario.check_relabel = false;
+  scenario.check_runtime = false;
+  scenario.check_ranked = false;
+  scenario.check_multi = true;
+  scenario.num_sessions = 3;
+  scenario.num_shards = 2;
+  scenario.multi_inject_stale = false;
+  return scenario;
+}
+
+TEST(SimMultiSessionTest, PropertyHoldsOnCorrectCode) {
+  SimReport report;
+  const Scenario scenario = MultiScenario();
+  Status status = RunScenario(scenario, SimOptions{}, &report);
+  EXPECT_TRUE(status.ok()) << scenario.Summary() << ": " << status;
+  EXPECT_GT(report.checks, 0);
+}
+
+TEST(SimMultiSessionTest, InjectedStaleUtilityBugIsCaughtAndShrinks) {
+  // The planted bug: sessions poll the shared cache's residency view only at
+  // open, never per step (ServiceOptions::refresh_source_cache_view = false),
+  // so emitted utilities stop reflecting cache state at eval time. The
+  // serial view-read oracle must fail — and the shrinker must walk the
+  // reproducer down while the failure persists.
+  Scenario scenario = MultiScenario();
+  scenario.multi_inject_stale = true;
+  Status status = RunScenario(scenario, SimOptions{}, /*report=*/nullptr);
+  ASSERT_FALSE(status.ok())
+      << "stale cross-session utilities went undetected: "
+      << scenario.Summary();
+  EXPECT_NE(std::string(status.message()).find("check=multi"),
+            std::string::npos)
+      << status;
+
+  const ShrinkResult minimized = Shrink(scenario, SimOptions{});
+  EXPECT_FALSE(minimized.failure.empty());
+  // The failing axis cannot be shrunk away: the multi check must survive
+  // minimization, and the stale injection rides on the scenario unchanged.
+  EXPECT_TRUE(minimized.scenario.check_multi);
+  EXPECT_TRUE(minimized.scenario.multi_inject_stale);
+  EXPECT_LE(minimized.scenario.num_sessions, scenario.num_sessions);
+  EXPECT_LE(minimized.scenario.num_shards, scenario.num_shards);
+  EXPECT_GE(minimized.rounds, 1);
+}
+
 }  // namespace
 }  // namespace planorder::sim

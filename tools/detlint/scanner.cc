@@ -307,7 +307,7 @@ std::string CheckTitle(CheckId check) {
              "environment) outside src/runtime/clock.* and src/base/rng.h";
     case CheckId::kD2:
       return "unordered container in an ordering/emission/answer path "
-             "(src/core, src/anyk, src/exec, src/sim)";
+             "(src/core, src/anyk, src/exec, src/sim, src/cluster)";
     case CheckId::kD3:
       return "floating-point accumulation in a weight fold path (src/anyk); "
              "breaks the dyadic-rational bit-exactness invariant";
@@ -348,7 +348,8 @@ bool CheckAppliesTo(CheckId check, const std::string& relpath) {
       return StartsWith(relpath, "src/core/") ||
              StartsWith(relpath, "src/anyk/") ||
              StartsWith(relpath, "src/exec/") ||
-             StartsWith(relpath, "src/sim/");
+             StartsWith(relpath, "src/sim/") ||
+             StartsWith(relpath, "src/cluster/");
     case CheckId::kD3:
       return StartsWith(relpath, "src/anyk/");
     case CheckId::kD4:

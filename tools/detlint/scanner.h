@@ -16,8 +16,8 @@
 ///       environment reads) outside the whitelisted shims
 ///       (src/runtime/clock.*, src/base/rng.h)
 ///   D2  unordered containers in the ordering/emission/answer paths
-///       (src/core, src/anyk, src/exec, src/sim), where hash-iteration
-///       order could reach an output sequence
+///       (src/core, src/anyk, src/exec, src/sim, src/cluster), where
+///       hash-iteration order could reach an output sequence
 ///   D3  floating-point accumulation in the weight fold paths (src/anyk),
 ///       which must preserve the dyadic-rational bit-exactness invariant of
 ///       anyk/weights.h by folding through AggregationCombine
