@@ -49,7 +49,7 @@ AbstractionForest AbstractionForest::Build(const stats::Workload& workload,
     forest.roots_[b] = forest.BuildRange(workload, b, ordered, 0,
                                          static_cast<int>(ordered.size()));
   }
-  forest.probe_members_.assign(forest.nodes_.size(), -1);
+  forest.probe_members_.assign(forest.summaries_.size(), -1);
   return forest;
 }
 
@@ -58,21 +58,20 @@ int AbstractionForest::BuildRange(const stats::Workload& workload, int bucket,
                                   int hi) {
   PLANORDER_CHECK_LT(lo, hi);
   if (hi - lo == 1) {
-    Node leaf;
-    leaf.summary = workload.summary(bucket, ordered[lo]);
-    nodes_.push_back(std::move(leaf));
-    return static_cast<int>(nodes_.size() - 1);
+    summaries_.push_back(workload.summary(bucket, ordered[lo]));
+    left_.push_back(kNoChild);
+    right_.push_back(kNoChild);
+    return static_cast<int>(summaries_.size() - 1);
   }
   const int mid = lo + (hi - lo) / 2;
   const int left = BuildRange(workload, bucket, ordered, lo, mid);
   const int right = BuildRange(workload, bucket, ordered, mid, hi);
-  Node inner;
-  inner.summary =
-      stats::StatSummary::Merge(nodes_[left].summary, nodes_[right].summary);
-  inner.left = left;
-  inner.right = right;
-  nodes_.push_back(std::move(inner));
-  return static_cast<int>(nodes_.size() - 1);
+  summaries_.push_back(stats::StatSummary::Merge(
+      summaries_[static_cast<size_t>(left)],
+      summaries_[static_cast<size_t>(right)]));
+  left_.push_back(static_cast<uint32_t>(left));
+  right_.push_back(static_cast<uint32_t>(right));
+  return static_cast<int>(summaries_.size() - 1);
 }
 
 bool AbstractPlan::IsConcrete() const {

@@ -28,8 +28,15 @@ enum class AbstractionHeuristic {
 /// shared across buckets in one arena; each leaf is a concrete source of the
 /// space, each inner node the abstraction of its two children with hulled
 /// statistics (StatSummary::Merge).
+///
+/// Storage is flat and structure-of-arrays (DESIGN.md §11): summaries in one
+/// contiguous array, child links as uint32_t indices in two more. The inner
+/// evaluation loop reads only summaries_; the links are touched once per
+/// refinement, so keeping them out of the summary array keeps it dense.
 class AbstractionForest {
  public:
+  /// Child sentinel of a leaf node.
+  static constexpr uint32_t kNoChild = 0xffffffffu;
   /// Builds trees for every bucket of `space`. `seed` only matters for
   /// kRandom.
   static AbstractionForest Build(const stats::Workload& workload,
@@ -43,16 +50,22 @@ class AbstractionForest {
   int root(int bucket) const { return roots_[bucket]; }
 
   const stats::StatSummary& summary(int node) const {
-    return nodes_[node].summary;
+    return summaries_[static_cast<size_t>(node)];
   }
-  bool is_leaf(int node) const { return nodes_[node].left < 0; }
-  int left(int node) const { return nodes_[node].left; }
-  int right(int node) const { return nodes_[node].right; }
+  bool is_leaf(int node) const {
+    return left_[static_cast<size_t>(node)] == kNoChild;
+  }
+  int left(int node) const {
+    return static_cast<int>(left_[static_cast<size_t>(node)]);
+  }
+  int right(int node) const {
+    return static_cast<int>(right_[static_cast<size_t>(node)]);
+  }
 
   /// For a leaf: its concrete source index within the workload bucket.
-  int leaf_source(int node) const { return nodes_[node].summary.members[0]; }
+  int leaf_source(int node) const { return summary(node).members[0]; }
 
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_nodes() const { return static_cast<int>(summaries_.size()); }
 
   /// Per-node evaluation memo: the model's probe member for this node,
   /// -1 when not yet computed. A forest serves exactly one utility model
@@ -71,16 +84,14 @@ class AbstractionForest {
   }
 
  private:
-  struct Node {
-    stats::StatSummary summary;
-    int left = -1;
-    int right = -1;
-  };
-
   int BuildRange(const stats::Workload& workload, int bucket,
                  const std::vector<int>& ordered, int lo, int hi);
 
-  std::vector<Node> nodes_;
+  /// SoA node storage: summaries_[n] with child links left_[n]/right_[n]
+  /// (kNoChild for leaves).
+  std::vector<stats::StatSummary> summaries_;
+  std::vector<uint32_t> left_;
+  std::vector<uint32_t> right_;
   std::vector<int> roots_;
   /// See cached_probe_member(); sized to nodes_ by Build().
   mutable std::vector<int> probe_members_;

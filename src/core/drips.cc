@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "core/evaluate.h"
+#include "core/frontier_heap.h"
 #include "core/parallel_eval.h"
 
 namespace planorder::core {
@@ -48,6 +49,17 @@ StatusOr<DripsResult> RunDrips(const std::vector<AbstractPlan>& starts,
   if (evaluator == nullptr) evaluator = &serial_evaluator;
   std::vector<Candidate> candidates;
   candidates.reserve(starts.size() + 64);
+  // Candidate utilities never change within one run, so selection is two
+  // static lazy heaps (core/frontier_heap.h) over candidate indices instead
+  // of a full rescan per refinement: abstract candidates by (upper bound
+  // desc, width desc, index asc) — the rescan's exact tie-break — concrete
+  // ones by (exact utility desc, index asc). Eliminated candidates just drop
+  // their alive flag; their entries die lazily at the next Peek.
+  FrontierHeap abstract_heap;
+  FrontierHeap concrete_heap;
+  const auto entry_live = [&candidates](const FrontierHeap::Entry& entry) {
+    return candidates[entry.slot].alive;
+  };
   // All bookkeeping is by index: add_candidates may grow (and reallocate)
   // `candidates`, so no reference or pointer into it survives an insertion.
   auto add_candidates = [&](std::vector<AbstractPlan> plans) {
@@ -64,7 +76,20 @@ StatusOr<DripsResult> RunDrips(const std::vector<AbstractPlan>& starts,
       c.concrete = plans[i].IsConcrete();
       c.plan = std::move(plans[i]);
       candidates.push_back(std::move(c));
-      added.push_back(candidates.size() - 1);
+      const size_t index = candidates.size() - 1;
+      added.push_back(index);
+      FrontierHeap::Entry entry;
+      entry.rank = index;
+      entry.slot = static_cast<uint32_t>(index);
+      const Candidate& added_c = candidates[index];
+      if (added_c.concrete) {
+        entry.key1 = added_c.utility.lo();
+        concrete_heap.Push(entry);
+      } else {
+        entry.key1 = added_c.utility.hi();
+        entry.key2 = added_c.utility.width();
+        abstract_heap.Push(entry);
+      }
     }
     return added;
   };
@@ -88,32 +113,18 @@ StatusOr<DripsResult> RunDrips(const std::vector<AbstractPlan>& starts,
   for (size_t fresh : add_candidates(starts)) eliminate_against_all(fresh);
 
   while (true) {
-    size_t best_abstract = candidates.size();
-    size_t best_concrete = candidates.size();
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      const Candidate& c = candidates[i];
-      if (!c.alive) continue;
-      if (c.concrete) {
-        if (best_concrete == candidates.size() ||
-            c.utility.lo() > candidates[best_concrete].utility.lo()) {
-          best_concrete = i;
-        }
-      } else if (best_abstract == candidates.size() ||
-                 c.utility.hi() > candidates[best_abstract].utility.hi() ||
-                 (c.utility.hi() == candidates[best_abstract].utility.hi() &&
-                  c.utility.width() >
-                      candidates[best_abstract].utility.width())) {
-        best_abstract = i;
-      }
-    }
-    if (best_abstract == candidates.size()) {
-      PLANORDER_CHECK(best_concrete != candidates.size());
+    const FrontierHeap::Entry* top = abstract_heap.Peek(entry_live);
+    if (top == nullptr) {
+      const FrontierHeap::Entry* best = concrete_heap.Peek(entry_live);
+      PLANORDER_CHECK(best != nullptr);
       DripsResult result;
-      result.winner = candidates[best_concrete].plan;
-      result.plan = candidates[best_concrete].plan.ToConcrete();
-      result.utility = candidates[best_concrete].utility.lo();
+      result.winner = candidates[best->slot].plan;
+      result.plan = candidates[best->slot].plan.ToConcrete();
+      result.utility = candidates[best->slot].utility.lo();
       return result;
     }
+    const size_t best_abstract = top->slot;
+    abstract_heap.PopTop();
 
     // Refinement: replace the most promising abstract plan by the two plans
     // splitting its largest abstract source.

@@ -36,6 +36,59 @@ struct PlanEvaluation {
   utility::ConcretePlan probe;
 };
 
+/// Zero-copy view of a plan stored in a PlanArena row (DESIGN.md §11): node
+/// ids and pre-resolved summaries in bucket order. The view borrows both
+/// arrays; the frontier guarantees they outlive the evaluation batch and
+/// stay unwritten while workers read them.
+struct PlanView {
+  const AbstractionForest* forest = nullptr;
+  const uint32_t* nodes = nullptr;
+  const stats::StatSummary* const* summaries = nullptr;
+  int width = 0;
+  bool concrete = false;
+};
+
+/// Evaluation result of a view — PlanEvaluation without the probe plan
+/// (the flat frontier never materializes probe members; Streamer, which
+/// does, keeps the AbstractPlan-based path below).
+struct EvalResult {
+  Interval utility = Interval::Point(0.0);
+  double model_lo = 0.0;
+};
+
+/// EvaluateWithProbe semantics over a PlanView, allocation-free on the
+/// probes-off path: enclosure straight from the pre-resolved summaries, and
+/// — with use_probes, for abstract views — the probe member's exact utility
+/// lifted into the lower bound. Counter semantics match EvaluateWithProbe
+/// exactly (one per enclosure, one more per probe evaluation).
+inline EvalResult EvaluateView(const PlanView& view,
+                               const utility::UtilityModel& model,
+                               const utility::ExecutionContext& ctx,
+                               int64_t* evaluations, bool use_probes) {
+  const utility::NodeSpan nodes(view.summaries,
+                                static_cast<size_t>(view.width));
+  if (evaluations != nullptr) ++*evaluations;
+  const Interval enclosure = model.Evaluate(nodes, ctx);
+  EvalResult result;
+  result.model_lo = enclosure.lo();
+  result.utility = enclosure;
+  if (view.concrete || !use_probes) return result;
+  utility::ConcretePlan probe(static_cast<size_t>(view.width));
+  for (int b = 0; b < view.width; ++b) {
+    const int node = static_cast<int>(view.nodes[b]);
+    const int cached = view.forest->cached_probe_member(node);
+    probe[static_cast<size_t>(b)] =
+        cached >= 0 ? cached : model.ProbeMember(*view.summaries[b]);
+  }
+  if (evaluations != nullptr) ++*evaluations;
+  const double probe_utility = model.EvaluateConcrete(probe, ctx);
+  // The probe lies inside the enclosure up to rounding; clamp defensively.
+  const double lo =
+      std::min(std::max(enclosure.lo(), probe_utility), enclosure.hi());
+  result.utility = Interval(lo, enclosure.hi());
+  return result;
+}
+
 inline PlanEvaluation EvaluateWithProbe(const AbstractPlan& plan,
                                         const utility::UtilityModel& model,
                                         const utility::ExecutionContext& ctx,

@@ -6,6 +6,13 @@
 #include "core/evaluate.h"
 
 namespace planorder::core {
+namespace {
+
+/// Hard cap on buckets per plan, matching UtilityModel::EvaluateConcrete's
+/// stack buffer; lets refinement stage parent rows on the stack.
+constexpr int kMaxBuckets = 16;
+
+}  // namespace
 
 StatusOr<std::unique_ptr<IDripsOrderer>> IDripsOrderer::Create(
     const stats::Workload* workload, utility::UtilityModel* model,
@@ -40,40 +47,212 @@ StatusOr<OrderedPlan> IDripsOrderer::ComputeNext() {
                                       : ComputeNextRebuild();
 }
 
-IDripsOrderer::Candidate IDripsOrderer::MakeCandidate(
-    AbstractPlan plan, const PlanEvaluation& eval) {
-  Candidate c;
-  c.utility = eval.utility;
-  c.model_lo = eval.model_lo;
-  c.concrete = plan.IsConcrete();
-  c.eval_epoch = static_cast<int64_t>(ctx().epoch());
-  c.eval_generation = ctx().external_generation();
-  c.summaries = plan.Summaries();
-  c.plan = std::move(plan);
-  return c;
+void IDripsOrderer::GrowFrontierArrays() {
+  const size_t m = static_cast<size_t>(arena_.width());
+  const size_t slots = arena_.num_slots();
+  if (alive_.size() >= slots) return;
+  summaries_.resize(slots * m);
+  group_keys_.resize(slots * m);
+  lo_.resize(slots);
+  hi_.resize(slots);
+  width_.resize(slots);
+  model_lo_.resize(slots);
+  eval_epoch_.resize(slots);
+  eval_generation_.resize(slots);
+  rank_.resize(slots);
+  // resize() preserves existing counters; released slots keep theirs so a
+  // reused slot cannot validate an entry pushed for its previous occupant.
+  heap_version_.resize(slots, 0);
+  forest_of_.resize(slots);
+  concrete_.resize(slots);
+  alive_.resize(slots, 0);
+}
+
+void IDripsOrderer::FillSlot(uint32_t slot) {
+  const int m = arena_.width();
+  const AbstractionForest& forest = *forests_[forest_of_[slot]];
+  const uint32_t* row = arena_.row(slot);
+  bool concrete = true;
+  for (int b = 0; b < m; ++b) {
+    const int node = static_cast<int>(row[b]);
+    summaries_[static_cast<size_t>(slot) * static_cast<size_t>(m) +
+               static_cast<size_t>(b)] = &forest.summary(node);
+    concrete = concrete && forest.is_leaf(node);
+  }
+  concrete_[slot] = concrete ? 1 : 0;
+}
+
+PlanView IDripsOrderer::MakeView(uint32_t slot) const {
+  PlanView view;
+  view.forest = forests_[forest_of_[slot]].get();
+  view.nodes = arena_.row(slot);
+  view.summaries = &summaries_[static_cast<size_t>(slot) *
+                               static_cast<size_t>(arena_.width())];
+  view.width = arena_.width();
+  view.concrete = concrete_[slot] != 0;
+  return view;
+}
+
+void IDripsOrderer::PushHeapEntry(uint32_t slot) {
+  FrontierHeap::Entry entry;
+  entry.rank = rank_[slot];
+  entry.slot = slot;
+  entry.version = heap_version_[slot];
+  if (concrete_[slot] != 0) {
+    entry.key1 = lo_[slot];
+    concrete_heap_.Push(entry);
+  } else {
+    entry.key1 = hi_[slot];
+    entry.key2 = width_[slot];
+    abstract_heap_.Push(entry);
+  }
+}
+
+void IDripsOrderer::CommitCandidate(uint32_t slot, const EvalResult& eval) {
+  const size_t m = static_cast<size_t>(arena_.width());
+  lo_[slot] = eval.utility.lo();
+  hi_[slot] = eval.utility.hi();
+  width_[slot] = eval.utility.width();
+  model_lo_[slot] = eval.model_lo;
+  eval_epoch_[slot] = static_cast<int64_t>(ctx().epoch());
+  eval_generation_[slot] = ctx().external_generation();
+  alive_[slot] = 1;
+  if (keys_supported_) {
+    const utility::NodeSpan span(&summaries_[static_cast<size_t>(slot) * m],
+                                 m);
+    model().IndependenceKeys(span, &group_keys_[static_cast<size_t>(slot) * m]);
+  }
+  ++heap_version_[slot];
+  PushHeapEntry(slot);
+}
+
+void IDripsOrderer::MaybeCompactHeaps() {
+  // Lazy deletion leaves one dead entry behind per re-evaluation, overwrite
+  // or release; compact when they clearly dominate the heap.
+  const size_t live = arena_.num_live();
+  const auto live_fn = [this](const FrontierHeap::Entry& entry) {
+    return EntryLive(entry);
+  };
+  if (abstract_heap_.size() > 4 * live + 64) abstract_heap_.Compact(live_fn);
+  if (concrete_heap_.size() > 4 * live + 64) concrete_heap_.Compact(live_fn);
+}
+
+ConcretePlan IDripsOrderer::SlotToConcrete(uint32_t slot) const {
+  const int m = arena_.width();
+  const AbstractionForest& forest = *forests_[forest_of_[slot]];
+  const uint32_t* row = arena_.row(slot);
+  ConcretePlan plan(static_cast<size_t>(m));
+  for (int b = 0; b < m; ++b) {
+    plan[static_cast<size_t>(b)] =
+        forest.leaf_source(static_cast<int>(row[b]));
+  }
+  return plan;
 }
 
 void IDripsOrderer::SeedFrontier() {
   frontier_seeded_ = true;
-  std::vector<AbstractPlan> roots;
-  roots.reserve(forests_.size());
-  for (const std::unique_ptr<AbstractionForest>& forest : forests_) {
-    AbstractPlan top;
-    top.forest = forest.get();
-    top.nodes.resize(forest->num_buckets());
-    for (int b = 0; b < forest->num_buckets(); ++b) {
-      top.nodes[b] = forest->root(b);
+  if (forests_.empty()) return;
+  const int m = forests_[0]->num_buckets();
+  PLANORDER_CHECK_LE(m, kMaxBuckets);
+  arena_.Reset(m);
+  for (size_t f = 0; f < forests_.size(); ++f) {
+    const uint32_t slot = arena_.Allocate();
+    GrowFrontierArrays();
+    uint32_t* row = arena_.row(slot);
+    const AbstractionForest& forest = *forests_[f];
+    for (int b = 0; b < m; ++b) {
+      row[b] = static_cast<uint32_t>(forest.root(b));
     }
-    roots.push_back(std::move(top));
+    forest_of_[slot] = static_cast<uint32_t>(f);
+    // Seed ranks are the legacy frontier's initial vector positions.
+    rank_[slot] = slot;
   }
-  std::vector<const AbstractPlan*> batch;
-  batch.reserve(roots.size());
-  for (const AbstractPlan& plan : roots) batch.push_back(&plan);
-  std::vector<PlanEvaluation> evals = evaluator().EvaluateBatch(
-      batch, model(), ctx(), &evaluations_, options_.probe_lower_bounds);
-  frontier_.reserve(roots.size() + 64);
-  for (size_t i = 0; i < roots.size(); ++i) {
-    frontier_.push_back(MakeCandidate(std::move(roots[i]), evals[i]));
+  next_rank_ = arena_.num_slots();
+  for (uint32_t slot = 0; slot < arena_.num_slots(); ++slot) FillSlot(slot);
+  // Keyed staleness support is a model property; probe it once on a root.
+  uint64_t scratch[kMaxBuckets];
+  keys_supported_ = model().IndependenceKeys(
+      utility::NodeSpan(summaries_.data(), static_cast<size_t>(m)), scratch);
+  view_batch_.clear();
+  for (uint32_t slot = 0; slot < arena_.num_slots(); ++slot) {
+    view_batch_.push_back(MakeView(slot));
+  }
+  const std::vector<EvalResult> evals = evaluator().EvaluateViews(
+      view_batch_, model(), ctx(), &evaluations_, options_.probe_lower_bounds);
+  for (uint32_t slot = 0; slot < arena_.num_slots(); ++slot) {
+    CommitCandidate(slot, evals[slot]);
+  }
+  refreshed_generation_ = ctx().external_generation();
+}
+
+void IDripsOrderer::EnsureExecutedKeys() {
+  if (!keys_supported_) return;
+  const std::vector<ConcretePlan>& executed = ctx().executed();
+  const size_t m = static_cast<size_t>(arena_.width());
+  while (keys_epoch_ < static_cast<int64_t>(executed.size())) {
+    executed_keys_.resize(static_cast<size_t>(keys_epoch_ + 1) * m);
+    if (!model().PlanIndependenceKeys(
+            executed[static_cast<size_t>(keys_epoch_)],
+            &executed_keys_[static_cast<size_t>(keys_epoch_) * m])) {
+      // A model that keys groups but not plans gets the fallback for good.
+      keys_supported_ = false;
+      return;
+    }
+    ++keys_epoch_;
+  }
+}
+
+bool IDripsOrderer::IsStale(uint32_t slot) {
+  const int64_t epoch = static_cast<int64_t>(ctx().epoch());
+  if (eval_epoch_[slot] == epoch) return false;
+  if (model().fully_independent()) {
+    eval_epoch_[slot] = epoch;
+    return false;
+  }
+  const size_t m = static_cast<size_t>(arena_.width());
+  if (keys_supported_) {
+    const uint64_t* group = &group_keys_[static_cast<size_t>(slot) * m];
+    for (int64_t e = eval_epoch_[slot]; e < epoch; ++e) {
+      const uint64_t* plan = &executed_keys_[static_cast<size_t>(e) * m];
+      bool independent = false;
+      for (size_t b = 0; b < m; ++b) {
+        if ((group[b] & plan[b]) == 0) {
+          independent = true;
+          break;
+        }
+      }
+      if (!independent) return true;
+    }
+  } else {
+    const std::vector<ConcretePlan>& executed = ctx().executed();
+    const utility::NodeSpan span(&summaries_[static_cast<size_t>(slot) * m],
+                                 m);
+    for (size_t e = static_cast<size_t>(eval_epoch_[slot]);
+         e < executed.size(); ++e) {
+      if (!model().GroupIndependentOf(span, executed[e])) return true;
+    }
+  }
+  eval_epoch_[slot] = epoch;
+  return false;
+}
+
+void IDripsOrderer::RefreshSlot(uint32_t slot) {
+  const EvalResult eval =
+      EvaluateView(MakeView(slot), model(), ctx(), &evaluations_,
+                   options_.probe_lower_bounds);
+  eval_epoch_[slot] = static_cast<int64_t>(ctx().epoch());
+  eval_generation_[slot] = ctx().external_generation();
+  const Interval& u = eval.utility;
+  // Push a fresh heap entry only when the bounds actually moved; an
+  // unchanged candidate's existing entry stays valid (version untouched).
+  if (u.lo() != lo_[slot] || u.hi() != hi_[slot] ||
+      eval.model_lo != model_lo_[slot]) {
+    lo_[slot] = u.lo();
+    hi_[slot] = u.hi();
+    width_[slot] = u.width();
+    model_lo_[slot] = eval.model_lo;
+    ++heap_version_[slot];
+    PushHeapEntry(slot);
   }
 }
 
@@ -82,131 +261,241 @@ void IDripsOrderer::RefreshStaleCandidates() {
   if (model().fully_independent()) return;
   const std::vector<ConcretePlan>& executed = ctx().executed();
   const int64_t epoch = static_cast<int64_t>(executed.size());
-  // Phase 1 — staleness test, fanned out (read-only on model and context;
-  // each index touches only its own candidate and flag slot). A candidate
-  // proven group-independent of everything executed since its evaluation
-  // keeps its utility and just fast-forwards its epoch: this is the
-  // incremental win over rebuilding the forests every emission.
   const int64_t generation = ctx().external_generation();
-  std::vector<uint8_t> stale(frontier_.size(), 0);
-  evaluator().ParallelFor(frontier_.size(), [&](size_t i) {
-    Candidate& c = frontier_[i];
-    // A flipped cross-session cache bit changes residual costs everywhere;
-    // the group-independence test only covers this session's executions, so
-    // a generation mismatch forces re-evaluation unconditionally.
-    if (c.eval_generation != generation) {
-      stale[i] = 1;
-      return;
-    }
-    const utility::NodeSpan span(c.summaries.data(), c.summaries.size());
-    for (size_t e = static_cast<size_t>(c.eval_epoch); e < executed.size();
-         ++e) {
-      if (!model().GroupIndependentOf(span, executed[e])) {
-        stale[i] = 1;
-        return;
+  const int m = arena_.width();
+  const uint32_t num_slots = arena_.num_slots();
+  stale_slots_.clear();
+
+  // Phase 1 — staleness test. A candidate proven group-independent of
+  // everything executed since its evaluation keeps its utility and just
+  // fast-forwards its epoch: this is the incremental win over rebuilding the
+  // forests every emission. With model-provided independence keys the test
+  // is a word-AND scan over flat arrays; otherwise fall back to the virtual
+  // per-(candidate, emission) test, fanned out.
+  bool keyed = keys_supported_;
+  int64_t min_epoch = epoch;
+  if (keyed) {
+    for (uint32_t slot = 0; slot < num_slots; ++slot) {
+      // Generation-stale slots are unconditionally re-evaluated; their
+      // epochs don't constrain which executed plans need keys.
+      if (alive_[slot] != 0 && eval_generation_[slot] == generation &&
+          eval_epoch_[slot] < min_epoch) {
+        min_epoch = eval_epoch_[slot];
       }
     }
-    c.eval_epoch = epoch;
-  });
-  // Phase 2 — batch re-evaluation of the stale candidates, in index order.
-  std::vector<size_t> stale_indices;
-  std::vector<const AbstractPlan*> batch;
-  for (size_t i = 0; i < frontier_.size(); ++i) {
-    if (stale[i] != 0) {
-      stale_indices.push_back(i);
-      batch.push_back(&frontier_[i].plan);
+    for (int64_t e = min_epoch; e < epoch && keyed; ++e) {
+      plan_keys_.resize(static_cast<size_t>(epoch - min_epoch) *
+                        static_cast<size_t>(m));
+      keyed = model().PlanIndependenceKeys(
+          executed[static_cast<size_t>(e)],
+          &plan_keys_[static_cast<size_t>(e - min_epoch) *
+                      static_cast<size_t>(m)]);
+    }
+    // A model that keys groups but not plans gets the fallback for good.
+    if (!keyed) keys_supported_ = false;
+  }
+
+  if (keyed) {
+    for (uint32_t slot = 0; slot < num_slots; ++slot) {
+      if (alive_[slot] == 0) continue;
+      // A flipped cross-session cache bit changes residual costs everywhere;
+      // the group-independence test only covers this session's executions,
+      // so a generation mismatch forces re-evaluation unconditionally.
+      if (eval_generation_[slot] != generation) {
+        stale_slots_.push_back(slot);
+        continue;
+      }
+      const uint64_t* group = &group_keys_[static_cast<size_t>(slot) *
+                                           static_cast<size_t>(m)];
+      bool stale = false;
+      for (int64_t e = eval_epoch_[slot]; e < epoch && !stale; ++e) {
+        const uint64_t* plan = &plan_keys_[static_cast<size_t>(e - min_epoch) *
+                                           static_cast<size_t>(m)];
+        bool independent = false;
+        for (int b = 0; b < m; ++b) {
+          if ((group[b] & plan[b]) == 0) {
+            independent = true;
+            break;
+          }
+        }
+        stale = !independent;
+      }
+      if (stale) {
+        stale_slots_.push_back(slot);
+      } else {
+        eval_epoch_[slot] = epoch;
+      }
+    }
+  } else {
+    live_snapshot_.clear();
+    for (uint32_t slot = 0; slot < num_slots; ++slot) {
+      if (alive_[slot] != 0) live_snapshot_.push_back(slot);
+    }
+    stale_flags_.assign(live_snapshot_.size(), 0);
+    // Read-only on model and context; each index touches only its own slot
+    // metadata and flag.
+    evaluator().ParallelFor(live_snapshot_.size(), [&](size_t i) {
+      const uint32_t slot = live_snapshot_[i];
+      if (eval_generation_[slot] != generation) {
+        stale_flags_[i] = 1;
+        return;
+      }
+      const utility::NodeSpan span(
+          &summaries_[static_cast<size_t>(slot) * static_cast<size_t>(m)],
+          static_cast<size_t>(m));
+      for (size_t e = static_cast<size_t>(eval_epoch_[slot]);
+           e < executed.size(); ++e) {
+        if (!model().GroupIndependentOf(span, executed[e])) {
+          stale_flags_[i] = 1;
+          return;
+        }
+      }
+      eval_epoch_[slot] = epoch;
+    });
+    for (size_t i = 0; i < live_snapshot_.size(); ++i) {
+      if (stale_flags_[i] != 0) stale_slots_.push_back(live_snapshot_[i]);
     }
   }
-  if (batch.empty()) return;
-  std::vector<PlanEvaluation> evals = evaluator().EvaluateBatch(
-      batch, model(), ctx(), &evaluations_, options_.probe_lower_bounds);
-  for (size_t j = 0; j < stale_indices.size(); ++j) {
-    Candidate& c = frontier_[stale_indices[j]];
-    c.utility = evals[j].utility;
-    c.model_lo = evals[j].model_lo;
-    c.eval_epoch = epoch;
-    c.eval_generation = generation;
+
+  // Phase 2 — batch re-evaluation of the stale candidates, in slot order.
+  if (stale_slots_.empty()) return;
+  view_batch_.clear();
+  for (uint32_t slot : stale_slots_) view_batch_.push_back(MakeView(slot));
+  const std::vector<EvalResult> evals = evaluator().EvaluateViews(
+      view_batch_, model(), ctx(), &evaluations_, options_.probe_lower_bounds);
+  for (size_t j = 0; j < stale_slots_.size(); ++j) {
+    const uint32_t slot = stale_slots_[j];
+    eval_epoch_[slot] = epoch;
+    eval_generation_[slot] = generation;
+    const Interval& u = evals[j].utility;
+    // Push a fresh heap entry only when the bounds actually moved; an
+    // unchanged candidate's existing entry stays valid (version untouched).
+    if (u.lo() != lo_[slot] || u.hi() != hi_[slot] ||
+        evals[j].model_lo != model_lo_[slot]) {
+      lo_[slot] = u.lo();
+      hi_[slot] = u.hi();
+      width_[slot] = u.width();
+      model_lo_[slot] = evals[j].model_lo;
+      ++heap_version_[slot];
+      PushHeapEntry(slot);
+    }
   }
 }
 
 StatusOr<OrderedPlan> IDripsOrderer::ComputeNextPersistent() {
   if (!frontier_seeded_) SeedFrontier();
-  if (frontier_.empty()) return NotFoundError("plan spaces exhausted");
-  RefreshStaleCandidates();
+  if (arena_.num_live() == 0) return NotFoundError("plan spaces exhausted");
+  // Under diminishing returns a candidate's utility only falls as plans
+  // execute, so stale heap keys are sound upper bounds and candidates are
+  // brought current lazily, when they surface at a heap top. Other models
+  // (and generation flips, which can raise utilities) take the eager full
+  // refresh.
+  const bool lazy = model().diminishing_returns();
+  if (lazy && !model().fully_independent()) EnsureExecutedKeys();
+  if (!lazy || ctx().external_generation() != refreshed_generation_) {
+    RefreshStaleCandidates();
+    refreshed_generation_ = ctx().external_generation();
+  }
+  MaybeCompactHeaps();
+  const auto live = [this](const FrontierHeap::Entry& entry) {
+    return EntryLive(entry);
+  };
+  const int m = arena_.width();
   while (true) {
-    // The frontier partitions the un-emitted plans and every enclosure is
-    // current, so the best concrete candidate whose exact utility reaches
-    // every abstract upper bound is the true conditional maximum.
-    size_t best_concrete = frontier_.size();
-    for (size_t i = 0; i < frontier_.size(); ++i) {
-      const Candidate& c = frontier_[i];
-      if (!c.concrete) continue;
-      if (best_concrete == frontier_.size() ||
-          c.utility.lo() > frontier_[best_concrete].utility.lo()) {
-        best_concrete = i;
-      }
+    // The frontier partitions the un-emitted plans and every enclosure at a
+    // heap top is settled current, so the best concrete candidate whose
+    // exact utility reaches every abstract upper bound is the true
+    // conditional maximum.
+    const FrontierHeap::Entry* best_concrete;
+    while ((best_concrete = concrete_heap_.Peek(live)) != nullptr && lazy &&
+           IsStale(best_concrete->slot)) {
+      RefreshSlot(best_concrete->slot);
     }
-    const double bar = best_concrete == frontier_.size()
+    const double bar = best_concrete == nullptr
                            ? -std::numeric_limits<double>::infinity()
-                           : frontier_[best_concrete].utility.lo();
-    std::vector<size_t> targets;
-    for (size_t i = 0; i < frontier_.size(); ++i) {
-      const Candidate& c = frontier_[i];
-      if (!c.concrete && c.utility.hi() > bar) targets.push_back(i);
+                           : best_concrete->key1;
+    // Speculative top-K refinement: pop the most promising abstract
+    // candidates (highest upper bound first; ties by wider interval, then
+    // lower rank — the legacy index order). K is fixed by options, never by
+    // the thread count, so the refinement sequence — and with it every
+    // emitted plan — is identical in serial and parallel runs.
+    targets_.clear();
+    while (targets_.size() < static_cast<size_t>(options_.refine_width)) {
+      const FrontierHeap::Entry* top = abstract_heap_.Peek(live);
+      if (top == nullptr || !(top->key1 > bar)) break;
+      if (lazy && IsStale(top->slot)) {
+        // Re-settle: the refreshed bound may fall below the bar or behind
+        // other entries.
+        RefreshSlot(top->slot);
+        continue;
+      }
+      targets_.push_back(top->slot);
+      abstract_heap_.PopTop();
     }
-    if (targets.empty()) {
-      PLANORDER_CHECK(best_concrete != frontier_.size());
-      OrderedPlan result{frontier_[best_concrete].plan.ToConcrete(),
-                         frontier_[best_concrete].utility.lo()};
-      // The winner cell is a single plan, so erasing it keeps the remaining
-      // cells a partition of the un-emitted plans — no re-abstraction.
-      frontier_.erase(frontier_.begin() +
-                      static_cast<ptrdiff_t>(best_concrete));
+    if (targets_.empty()) {
+      PLANORDER_CHECK(best_concrete != nullptr);
+      const uint32_t slot = best_concrete->slot;
+      OrderedPlan result{SlotToConcrete(slot), lo_[slot]};
+      // The winner cell is a single plan, so releasing it keeps the
+      // remaining cells a partition of the un-emitted plans — no
+      // re-abstraction.
+      concrete_heap_.PopTop();
+      alive_[slot] = 0;
+      ++heap_version_[slot];
+      arena_.Release(slot);
       return result;
     }
-    // Speculative top-K refinement: split the most promising abstract
-    // candidates (highest upper bound first; ties by wider interval, then
-    // lower index) and evaluate all 2K children as one batch. K is fixed by
-    // options, never by the thread count, so the refinement sequence — and
-    // with it every emitted plan — is identical in serial and parallel runs.
-    std::sort(targets.begin(), targets.end(), [&](size_t a, size_t b) {
-      const Interval& ua = frontier_[a].utility;
-      const Interval& ub = frontier_[b].utility;
-      if (ua.hi() != ub.hi()) return ua.hi() > ub.hi();
-      if (ua.width() != ub.width()) return ua.width() > ub.width();
-      return a < b;
-    });
-    if (targets.size() > static_cast<size_t>(options_.refine_width)) {
-      targets.resize(static_cast<size_t>(options_.refine_width));
-    }
-    std::vector<AbstractPlan> children;
-    children.reserve(targets.size() * 2);
-    for (size_t t : targets) {
-      const AbstractPlan& plan = frontier_[t].plan;
-      const int bucket = RefinementBucket(plan);
+    // Each target is split in place: the left child overwrites the parent's
+    // slot (inheriting its rank), the right child takes a fresh slot and the
+    // next rank. Allocation may grow the arena, so the parent row is staged
+    // on the stack first.
+    right_slots_.clear();
+    for (const uint32_t target : targets_) {
+      const AbstractionForest& forest = *forests_[forest_of_[target]];
+      const uint32_t* parent_row = arena_.row(target);
+      // The bucket Drips refines: first non-leaf node with strictly the most
+      // members (must match PickRefinementBucket in drips.cc).
+      int bucket = -1;
+      size_t best_members = 0;
+      uint32_t staged[kMaxBuckets];
+      for (int b = 0; b < m; ++b) {
+        staged[b] = parent_row[b];
+        const int node = static_cast<int>(parent_row[b]);
+        if (forest.is_leaf(node)) continue;
+        const size_t members = forest.summary(node).members.size();
+        if (members > best_members) {
+          best_members = members;
+          bucket = b;
+        }
+      }
       PLANORDER_CHECK_GE(bucket, 0);
-      const AbstractionForest& forest = *plan.forest;
-      const int node = plan.nodes[bucket];
-      AbstractPlan left = plan;
-      left.nodes[bucket] = forest.left(node);
-      AbstractPlan right = plan;
-      right.nodes[bucket] = forest.right(node);
-      children.push_back(std::move(left));
-      children.push_back(std::move(right));
+      const int node = static_cast<int>(staged[bucket]);
+      const uint32_t right = arena_.Allocate();
+      GrowFrontierArrays();
+      uint32_t* right_row = arena_.row(right);
+      for (int b = 0; b < m; ++b) right_row[b] = staged[b];
+      right_row[bucket] = static_cast<uint32_t>(forest.right(node));
+      forest_of_[right] = forest_of_[target];
+      rank_[right] = next_rank_++;
+      arena_.row(target)[bucket] = static_cast<uint32_t>(forest.left(node));
+      right_slots_.push_back(right);
     }
-    std::vector<const AbstractPlan*> batch;
-    batch.reserve(children.size());
-    for (const AbstractPlan& plan : children) batch.push_back(&plan);
-    std::vector<PlanEvaluation> evals = evaluator().EvaluateBatch(
-        batch, model(), ctx(), &evaluations_, options_.probe_lower_bounds);
-    // Each target is replaced in place by its left child; right children
-    // append. Deterministic because targets and children are index-ordered.
-    for (size_t k = 0; k < targets.size(); ++k) {
-      Candidate right =
-          MakeCandidate(std::move(children[2 * k + 1]), evals[2 * k + 1]);
-      frontier_[targets[k]] =
-          MakeCandidate(std::move(children[2 * k]), evals[2 * k]);
-      frontier_.push_back(std::move(right));
+    // Children evaluate as one batch in [left0, right0, left1, right1, ...]
+    // order — the order the legacy implementation evaluated (and counted)
+    // them. All allocation is done, so views borrow stable storage.
+    view_batch_.clear();
+    for (size_t k = 0; k < targets_.size(); ++k) {
+      FillSlot(targets_[k]);
+      FillSlot(right_slots_[k]);
+      view_batch_.push_back(MakeView(targets_[k]));
+      view_batch_.push_back(MakeView(right_slots_[k]));
+    }
+    const std::vector<EvalResult> evals = evaluator().EvaluateViews(
+        view_batch_, model(), ctx(), &evaluations_,
+        options_.probe_lower_bounds);
+    for (size_t k = 0; k < targets_.size(); ++k) {
+      CommitCandidate(targets_[k], evals[2 * k]);
+      CommitCandidate(right_slots_[k], evals[2 * k + 1]);
     }
   }
 }

@@ -1,10 +1,13 @@
 #ifndef PLANORDER_CORE_IDRIPS_H_
 #define PLANORDER_CORE_IDRIPS_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/drips.h"
+#include "core/frontier_heap.h"
 #include "core/orderer.h"
 
 namespace planorder::core {
@@ -36,6 +39,15 @@ struct IDripsOptions {
 /// utility measure. The persistent-frontier mode (default; DESIGN.md §6)
 /// keeps the Drips candidate partition alive between emissions so dominance
 /// information is carried forward instead of rebuilt every iteration.
+///
+/// The persistent frontier is stored flat (DESIGN.md §11): plan rows in a
+/// PlanArena, per-candidate metadata in parallel arrays indexed by slot, and
+/// two lazy FrontierHeaps — abstract candidates by (upper bound, width,
+/// rank), concrete ones by (exact utility, rank) — in place of per-round
+/// linear rescans. Ranks replicate the legacy frontier's vector positions
+/// (a left child refined in place inherits its parent's rank), so heap ties
+/// break exactly as the old index-ordered scans did and the emission
+/// sequence is unchanged.
 class IDripsOrderer : public Orderer {
  public:
   static StatusOr<std::unique_ptr<IDripsOrderer>> Create(
@@ -53,7 +65,7 @@ class IDripsOrderer : public Orderer {
 
   /// Candidates currently alive in the persistent frontier (0 in rebuild
   /// mode); exposed for tests and benchmarks.
-  size_t frontier_size() const { return frontier_.size(); }
+  size_t frontier_size() const { return arena_.num_live(); }
 
  protected:
   StatusOr<OrderedPlan> ComputeNext() override;
@@ -62,23 +74,6 @@ class IDripsOrderer : public Orderer {
   struct SpaceEntry {
     PlanSpace space;
     AbstractionForest forest;
-  };
-
-  /// One cell of the persistent frontier: an abstract plan (concrete = all
-  /// leaves), its utility enclosure, and the epoch at which that enclosure
-  /// was computed. The alive cells always partition the un-emitted plans.
-  struct Candidate {
-    AbstractPlan plan;
-    std::vector<const stats::StatSummary*> summaries;
-    Interval utility = Interval::Point(0.0);
-    double model_lo = 0.0;
-    bool concrete = false;
-    int64_t eval_epoch = 0;
-    /// External-residency generation (ExecutionContext::external_generation)
-    /// at evaluation time; a mismatch means a cross-session cache bit flipped
-    /// since, so the enclosure must be recomputed regardless of
-    /// group-independence from the executed suffix.
-    int64_t eval_generation = 0;
   };
 
   IDripsOrderer(const stats::Workload* workload, utility::UtilityModel* model,
@@ -95,20 +90,93 @@ class IDripsOrderer : public Orderer {
   /// forest (the initial partition of the whole plan space).
   void SeedFrontier();
 
-  /// Persistent mode: bring every candidate's utility up to the current
-  /// epoch. Candidates group-independent of the executed suffix fast-forward
-  /// without re-evaluation; the rest are re-evaluated in one batch.
+  /// Persistent mode, eager path: bring every candidate's utility up to the
+  /// current epoch. Candidates group-independent of the executed suffix
+  /// fast-forward without re-evaluation; the rest are re-evaluated in one
+  /// batch. Used for models without diminishing returns (whose utilities may
+  /// rise, so stale heap keys are not upper bounds) and after an external
+  /// cache-generation change (same reason).
   void RefreshStaleCandidates();
 
-  Candidate MakeCandidate(AbstractPlan plan, const PlanEvaluation& eval);
+  /// Lazy path (diminishing-returns models): a candidate evaluated at an
+  /// earlier epoch has utility at most its recorded bounds, so its stale heap
+  /// key is a sound upper bound and it can stay untouched until it surfaces
+  /// at a heap top. IsStale tests the surfacing slot against the executed
+  /// suffix (keyed word-ANDs or the virtual fallback), fast-forwarding its
+  /// epoch when independent; RefreshSlot re-evaluates it and pushes the
+  /// updated entry when the bounds moved.
+  bool IsStale(uint32_t slot);
+  void RefreshSlot(uint32_t slot);
+  /// Appends independence keys of newly executed plans to executed_keys_.
+  void EnsureExecutedKeys();
+
+  /// Grows the slot-indexed metadata arrays to the arena's slot count.
+  void GrowFrontierArrays();
+  /// Resolves a slot's summaries and concreteness from its arena row.
+  void FillSlot(uint32_t slot);
+  PlanView MakeView(uint32_t slot) const;
+  /// Writes a fresh evaluation into a slot's metadata, bumps its heap
+  /// version and pushes the new heap entry.
+  void CommitCandidate(uint32_t slot, const EvalResult& eval);
+  void PushHeapEntry(uint32_t slot);
+  /// Drops dead heap entries when they outnumber live candidates enough to
+  /// matter (lazy deletion keeps Push O(log live) otherwise).
+  void MaybeCompactHeaps();
+  ConcretePlan SlotToConcrete(uint32_t slot) const;
+  /// True when the entry's version still matches its slot (the lazy
+  /// decrease-key test).
+  bool EntryLive(const FrontierHeap::Entry& entry) const {
+    return alive_[entry.slot] != 0 &&
+           entry.version == heap_version_[entry.slot];
+  }
 
   IDripsOptions options_;
   /// Rebuild mode state.
   std::vector<std::unique_ptr<SpaceEntry>> spaces_;
   /// Persistent mode state. Forests are never rebuilt; stable addresses.
   std::vector<std::unique_ptr<AbstractionForest>> forests_;
-  std::vector<Candidate> frontier_;
   bool frontier_seeded_ = false;
+
+  /// Flat frontier storage (DESIGN.md §11). Plan rows live in the arena;
+  /// everything below is indexed by arena slot id (per-bucket arrays are
+  /// slot * width + bucket). heap_version_ never resets — slot reuse through
+  /// the free list cannot resurrect a stale heap entry.
+  PlanArena arena_;
+  std::vector<const stats::StatSummary*> summaries_;
+  std::vector<uint64_t> group_keys_;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  std::vector<double> width_;
+  std::vector<double> model_lo_;
+  std::vector<int64_t> eval_epoch_;
+  std::vector<int64_t> eval_generation_;
+  std::vector<uint64_t> rank_;
+  std::vector<uint32_t> heap_version_;
+  std::vector<uint32_t> forest_of_;
+  std::vector<uint8_t> concrete_;
+  std::vector<uint8_t> alive_;
+  FrontierHeap abstract_heap_;
+  FrontierHeap concrete_heap_;
+  uint64_t next_rank_ = 0;
+  /// Model supports the keyed staleness fast path (set at seed time; turned
+  /// off permanently if PlanIndependenceKeys ever declines).
+  bool keys_supported_ = false;
+  /// External cache generation the frontier was last eagerly refreshed
+  /// against (lazy mode only re-runs the full scan when this moves).
+  int64_t refreshed_generation_ = 0;
+  /// Independence keys of executed[0..keys_epoch_), keys_epoch_ * width
+  /// words, appended per emission for the lazy staleness test.
+  std::vector<uint64_t> executed_keys_;
+  int64_t keys_epoch_ = 0;
+
+  /// Reusable scratch (cleared per use; kept to avoid per-round allocation).
+  std::vector<PlanView> view_batch_;
+  std::vector<uint32_t> stale_slots_;
+  std::vector<uint32_t> targets_;
+  std::vector<uint32_t> right_slots_;
+  std::vector<uint64_t> plan_keys_;
+  std::vector<uint32_t> live_snapshot_;
+  std::vector<uint8_t> stale_flags_;
 };
 
 }  // namespace planorder::core

@@ -2,17 +2,33 @@
 
 #include <algorithm>
 #include <atomic>
+#include <thread>
 
 namespace planorder::core {
 namespace {
 
-/// Below this many items a fan-out costs more in queueing than it saves.
-constexpr size_t kMinParallelItems = 4;
+/// Fan-out threshold in evaluation-equivalents. One model evaluation on the
+/// compiled universe costs a few hundred nanoseconds; the pool's submit +
+/// wake + join overhead is on the order of a couple of microseconds, so
+/// batches below ~16 evaluations are pure loss to split (measured on
+/// bench_core_parallel). Affects scheduling only, never results.
+constexpr size_t kMinParallelUnits = 16;
 
 }  // namespace
 
+bool BatchEvaluator::MultiCoreHost() {
+  static const bool multi = std::thread::hardware_concurrency() >= 2;
+  return multi;
+}
+
 void BatchEvaluator::ParallelFor(size_t n,
                                  const std::function<void(size_t)>& fn) const {
+  // Generic per-index fan-out: item cost unknown, estimate one unit each.
+  RunChunked(n, n, fn);
+}
+
+void BatchEvaluator::RunChunked(size_t n, size_t units,
+                                const std::function<void(size_t)>& fn) const {
   // Self-scheduling loop over an atomic chunk cursor: the caller submits up
   // to `threads - 1` helper tasks and then works through chunks itself, so a
   // batch never blocks on worker wakeup latency and the queue sees a handful
@@ -21,8 +37,10 @@ void BatchEvaluator::ParallelFor(size_t n,
   const size_t threads =
       pool_ == nullptr ? 1 : static_cast<size_t>(pool_->num_threads());
   const size_t chunks = std::min(n, threads * 4);
+  const bool worth_fanning_out =
+      threads >= 2 && units >= kMinParallelUnits && MultiCoreHost();
   const size_t helpers =
-      threads < 2 || n < kMinParallelItems ? 0 : std::min(threads, chunks) - 1;
+      worth_fanning_out ? std::min(threads, chunks) - 1 : 0;
   if (helpers == 0) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -49,9 +67,13 @@ std::vector<PlanEvaluation> BatchEvaluator::EvaluateBatch(
     int64_t* evaluations, bool use_probes) const {
   std::vector<PlanEvaluation> results(plans.size());
   if (plans.empty()) return results;
-  // Serial phase: fill the per-node probe memo so workers only read it.
+  // Serial phase: fill the per-node probe memo so workers only read it. The
+  // probe count doubles as the cost estimate: each abstract plan will run a
+  // second (concrete) evaluation under use_probes.
+  size_t probe_evals = 0;
   if (use_probes) {
     for (const AbstractPlan* plan : plans) {
+      if (!plan->IsConcrete()) ++probe_evals;
       for (size_t b = 0; b < plan->nodes.size(); ++b) {
         const int node = plan->nodes[b];
         if (plan->forest->cached_probe_member(node) < 0) {
@@ -62,7 +84,7 @@ std::vector<PlanEvaluation> BatchEvaluator::EvaluateBatch(
     }
   }
   std::vector<int64_t> counts(plans.size(), 0);
-  ParallelFor(plans.size(), [&](size_t i) {
+  RunChunked(plans.size(), plans.size() + probe_evals, [&](size_t i) {
     results[i] =
         EvaluateWithProbe(*plans[i], model, ctx, &counts[i], use_probes);
   });
@@ -70,6 +92,36 @@ std::vector<PlanEvaluation> BatchEvaluator::EvaluateBatch(
   // as a serial loop would have advanced it.
   if (evaluations != nullptr) {
     for (size_t i = 0; i < plans.size(); ++i) *evaluations += counts[i];
+  }
+  return results;
+}
+
+std::vector<EvalResult> BatchEvaluator::EvaluateViews(
+    const std::vector<PlanView>& views, const utility::UtilityModel& model,
+    const utility::ExecutionContext& ctx, int64_t* evaluations,
+    bool use_probes) const {
+  std::vector<EvalResult> results(views.size());
+  if (views.empty()) return results;
+  size_t probe_evals = 0;
+  if (use_probes) {
+    for (const PlanView& view : views) {
+      if (view.concrete) continue;
+      ++probe_evals;
+      for (int b = 0; b < view.width; ++b) {
+        const int node = static_cast<int>(view.nodes[b]);
+        if (view.forest->cached_probe_member(node) < 0) {
+          view.forest->set_cached_probe_member(
+              node, model.ProbeMember(view.forest->summary(node)));
+        }
+      }
+    }
+  }
+  std::vector<int64_t> counts(views.size(), 0);
+  RunChunked(views.size(), views.size() + probe_evals, [&](size_t i) {
+    results[i] = EvaluateView(views[i], model, ctx, &counts[i], use_probes);
+  });
+  if (evaluations != nullptr) {
+    for (size_t i = 0; i < views.size(); ++i) *evaluations += counts[i];
   }
   return results;
 }

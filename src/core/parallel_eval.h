@@ -45,7 +45,29 @@ class BatchEvaluator {
       const utility::UtilityModel& model, const utility::ExecutionContext& ctx,
       int64_t* evaluations, bool use_probes) const;
 
+  /// View-based batch evaluation (EvaluateView semantics) — the flat
+  /// frontier's path: no per-plan allocation, results in batch order, the
+  /// shared counter advanced exactly as a serial loop would advance it.
+  std::vector<EvalResult> EvaluateViews(const std::vector<PlanView>& views,
+                                        const utility::UtilityModel& model,
+                                        const utility::ExecutionContext& ctx,
+                                        int64_t* evaluations,
+                                        bool use_probes) const;
+
+  /// True when this host can actually run two things at once. Fanning out on
+  /// a 1-core host only adds queueing and oversubscription, so every batch
+  /// stays serial by construction there (scheduling only — results are
+  /// byte-identical either way).
+  static bool MultiCoreHost();
+
  private:
+  /// Shared fan-out decision + chunked execution. `units` estimates the
+  /// parallelizable work in evaluation-equivalents (one unit ~ one model
+  /// evaluation); batches below the measured threshold run inline because
+  /// the pool's submit/wake/join overhead exceeds the work being split.
+  void RunChunked(size_t n, size_t units,
+                  const std::function<void(size_t)>& fn) const;
+
   runtime::ThreadPool* pool_ = nullptr;
 };
 

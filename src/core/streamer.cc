@@ -43,10 +43,29 @@ int StreamerOrderer::AddNode(AbstractPlan plan) {
   node.plan = std::move(plan);
   nodes_.push_back(std::move(node));
   out_links_.emplace_back();
+  node_version_.push_back(0);
   const int id = static_cast<int>(nodes_.size() - 1);
   alive_.insert(id);
   nondominated_.insert(id);
+  // No heap entry yet: the node has no utility until its first evaluation,
+  // which pushes one.
   return id;
+}
+
+void StreamerOrderer::PushNodeEntry(int node_index) {
+  const Node& node = nodes_[node_index];
+  FrontierHeap::Entry entry;
+  entry.rank = static_cast<uint64_t>(node_index);
+  entry.slot = static_cast<uint32_t>(node_index);
+  entry.version = node_version_[node_index];
+  if (node.concrete) {
+    entry.key1 = node.utility.lo();
+    concrete_heap_.Push(entry);
+  } else {
+    entry.key1 = node.utility.hi();
+    entry.key2 = node.utility.width();
+    abstract_heap_.Push(entry);
+  }
 }
 
 void StreamerOrderer::AddLink(int from, int to) {
@@ -82,6 +101,11 @@ void StreamerOrderer::KillLink(int link_index) {
   free_links_.push_back(link_index);
   if (--nodes_[link.to].incoming == 0 && nodes_[link.to].alive) {
     nondominated_.insert(link.to);
+    // Back in the frontier: re-push its (unchanged) bounds, since the heap
+    // entry may have been consumed by a Peek while the node was dominated.
+    // A duplicate entry is benign — consuming one always ends in RemoveNode
+    // or a version bump, which kills the other.
+    if (node_version_[link.to] > 0) PushNodeEntry(link.to);
   }
   auto& out = out_links_[link.from];
   out.erase(std::remove(out.begin(), out.end(), link_index), out.end());
@@ -121,138 +145,227 @@ bool StreamerOrderer::Dominates(int a, int b) const {
   return true;
 }
 
-StatusOr<OrderedPlan> StreamerOrderer::ComputeNext() {
-  // Step 2 of Figure 5.
-  std::vector<int>& snapshot = scratch_;
-  while (true) {
-    if (nondominated_.empty()) return NotFoundError("plan spaces exhausted");
+bool StreamerOrderer::Precedes(int a, int b) const {
+  if (nodes_[a].utility.lo() != nodes_[b].utility.lo()) {
+    return nodes_[a].utility.lo() > nodes_[b].utility.lo();
+  }
+  return a < b;
+}
 
-    // (2.a) Recompute nil (or stale) utilities of nondominated plans. The
-    // staleness walk (one group-independence test per executed plan since a
-    // node's evaluation) and the re-evaluations both fan out over the
-    // evaluator's pool: every index touches only its own node, and the
-    // evaluation counter is folded in nondominated (= index) order, so the
-    // result is identical to the serial loop.
-    snapshot.clear();
-    snapshot.insert(snapshot.end(), nondominated_.begin(), nondominated_.end());
-    std::vector<uint8_t> is_stale(snapshot.size(), 0);
-    evaluator().ParallelFor(snapshot.size(), [&](size_t j) {
-      is_stale[j] = UtilityCurrent(nodes_[snapshot[j]]) ? 0 : 1;
-    });
-    std::vector<int> stale;
-    std::vector<const AbstractPlan*> batch;
-    for (size_t j = 0; j < snapshot.size(); ++j) {
-      if (is_stale[j] != 0) {
-        stale.push_back(snapshot[j]);
-        batch.push_back(&nodes_[snapshot[j]].plan);
+void StreamerOrderer::LinkFullPass(std::vector<int>& snapshot) {
+  // Create domination links among the nondominated plans. Any dominating
+  // pair is sound (Figure 5 links all of them); we link each dominated plan
+  // from its CLOSEST preceding dominator in utility order, so the frontier
+  // forms a chain rather than a star: emitting the best plan then frees only
+  // its immediate successors instead of resurfacing the whole frontier.
+  // Plans dominated earlier in the pass still serve as dominators — the
+  // snapshot is fixed — which is what makes the per-node scans independent.
+  std::sort(snapshot.begin(), snapshot.end(),
+            [this](int a, int b) { return Precedes(a, b); });
+  for (size_t j = 0; j < snapshot.size(); ++j) {
+    for (size_t i = j; i-- > 0;) {
+      if (Dominates(snapshot[i], snapshot[j])) {
+        AddLink(snapshot[i], snapshot[j]);
+        break;
       }
     }
-    const std::vector<PlanEvaluation> evals = evaluator().EvaluateBatch(
-        batch, model(), ctx(), &evaluations_, probe_lower_bounds_);
-    for (size_t j = 0; j < stale.size(); ++j) {
-      Node& node = nodes_[stale[j]];
+  }
+}
+
+void StreamerOrderer::LinkFresh(const std::vector<int>& fresh,
+                                const std::vector<int>& candidates) {
+  // Equivalent to LinkFullPass over `candidates` given that survivor-vs-
+  // survivor relations are already settled: a fresh node searches the whole
+  // candidate set for its closest preceding dominator, a survivor only the
+  // fresh set (no survivor dominates another — their utilities have not
+  // changed since the pass that left them all nondominated). "Closest
+  // preceding" is the latest dominator in (lower bound desc, id asc) order,
+  // exactly the one the full pass's backward scan finds first.
+  const auto is_fresh = [&fresh](int n) {
+    return std::find(fresh.begin(), fresh.end(), n) != fresh.end();
+  };
+  for (int f : fresh) {
+    int best = -1;
+    for (int n : candidates) {
+      if (n == f || !Precedes(n, f) || !Dominates(n, f)) continue;
+      if (best < 0 || Precedes(best, n)) best = n;
+    }
+    if (best >= 0) AddLink(best, f);
+  }
+  for (int s : candidates) {
+    if (is_fresh(s)) continue;
+    int best = -1;
+    for (int f : fresh) {
+      if (f == s || !Precedes(f, s) || !Dominates(f, s)) continue;
+      if (best < 0 || Precedes(best, f)) best = f;
+    }
+    if (best >= 0) AddLink(best, s);
+  }
+}
+
+StatusOr<OrderedPlan> StreamerOrderer::ComputeNext() {
+  // Step 2 of Figure 5, restructured around the selection heaps (DESIGN.md
+  // §11): the staleness/refresh pass and the full dominance-link pass run
+  // ONCE per emission, then a heap-driven loop refines abstract frontier
+  // tops — evaluating and linking only the two children per round — until
+  // every nondominated plan is concrete.
+  if (nondominated_.empty()) return NotFoundError("plan spaces exhausted");
+
+  const auto abstract_live = [this](const FrontierHeap::Entry& entry) {
+    const Node& node = nodes_[entry.slot];
+    return node.alive && node.incoming == 0 && !node.concrete &&
+           entry.version == node_version_[entry.slot];
+  };
+  const auto concrete_live = [this](const FrontierHeap::Entry& entry) {
+    const Node& node = nodes_[entry.slot];
+    return node.alive && node.incoming == 0 && node.concrete &&
+           entry.version == node_version_[entry.slot];
+  };
+  if (abstract_heap_.size() + concrete_heap_.size() >
+      4 * alive_.size() + 64) {
+    abstract_heap_.Compact(abstract_live);
+    concrete_heap_.Compact(concrete_live);
+  }
+
+  // (2.a) Recompute nil (or stale) utilities of nondominated plans — once
+  // per emission, not once per refinement (see num_staleness_checks()). The
+  // staleness walk (one group-independence test per executed plan since a
+  // node's evaluation) and the re-evaluations both fan out over the
+  // evaluator's pool: every index touches only its own node, and the
+  // evaluation counter is folded in nondominated (= index) order, so the
+  // result is identical to the serial loop.
+  std::vector<int>& snapshot = scratch_;
+  snapshot.clear();
+  snapshot.insert(snapshot.end(), nondominated_.begin(), nondominated_.end());
+  num_staleness_checks_ += static_cast<int64_t>(snapshot.size());
+  std::vector<uint8_t> is_stale(snapshot.size(), 0);
+  evaluator().ParallelFor(snapshot.size(), [&](size_t j) {
+    is_stale[j] = UtilityCurrent(nodes_[snapshot[j]]) ? 0 : 1;
+  });
+  std::vector<int> stale;
+  std::vector<const AbstractPlan*> batch;
+  for (size_t j = 0; j < snapshot.size(); ++j) {
+    if (is_stale[j] != 0) {
+      stale.push_back(snapshot[j]);
+      batch.push_back(&nodes_[snapshot[j]].plan);
+    }
+  }
+  std::vector<PlanEvaluation> evals = evaluator().EvaluateBatch(
+      batch, model(), ctx(), &evaluations_, probe_lower_bounds_);
+  for (size_t j = 0; j < stale.size(); ++j) {
+    Node& node = nodes_[stale[j]];
+    node.utility = evals[j].utility;
+    node.model_lo = evals[j].model_lo;
+    node.probe = evals[j].probe;
+    node.eval_epoch = ctx().epoch();
+    ++node_version_[stale[j]];
+    PushNodeEntry(stale[j]);
+  }
+
+  // (2.b) One full dominance-link pass now that every frontier utility is
+  // current; refinements below only re-link incrementally.
+  LinkFullPass(snapshot);
+
+  // (2.c) Refine the most promising abstract frontier plan — highest upper
+  // bound, ties by widest interval then lowest id — until none remains.
+  // Within one emission the surviving utilities are fixed, so each round
+  // only evaluates the refinement's two children and links fresh nodes.
+  std::vector<int> fresh;
+  std::vector<int> candidates;
+  while (true) {
+    const FrontierHeap::Entry* top = abstract_heap_.Peek(abstract_live);
+    if (top == nullptr) break;
+    const int pick = static_cast<int>(top->slot);
+    abstract_heap_.PopTop();
+
+    // Refine the bucket whose abstract source has the most members. Copies
+    // of the plan (and anything else read from nodes_) are taken before
+    // AddNode, which may reallocate nodes_ and out_links_.
+    const AbstractPlan& plan = nodes_[pick].plan;
+    const AbstractionForest& forest = *plan.forest;
+    int bucket = -1;
+    size_t best_members = 0;
+    for (size_t b = 0; b < plan.nodes.size(); ++b) {
+      if (forest.is_leaf(plan.nodes[b])) continue;
+      const size_t members = forest.summary(plan.nodes[b]).members.size();
+      if (members > best_members) {
+        best_members = members;
+        bucket = static_cast<int>(b);
+      }
+    }
+    PLANORDER_CHECK_GE(bucket, 0);
+    AbstractPlan left = plan;
+    left.nodes[bucket] = forest.left(plan.nodes[bucket]);
+    AbstractPlan right = plan;
+    right.nodes[bucket] = forest.right(plan.nodes[bucket]);
+    const double parent_model_lo = nodes_[pick].model_lo;
+    const int left_id = AddNode(std::move(left));
+    const int right_id = AddNode(std::move(right));
+    // Transfer the refined node's outgoing links to the child containing
+    // each link's dominance witness: the witness (a concrete plan of the
+    // parent) lies in exactly one child and its justification carries
+    // over. Any-member links carry over to either child (its members are
+    // a subset of the parent's), at the price of a more conservative
+    // validity check later.
+    for (int link_index : out_links_[pick]) {
+      Link& link = links_[link_index];
+      const std::vector<int>& left_members =
+          nodes_[left_id].summaries[bucket]->members;
+      int new_from = left_id;
+      if (!std::binary_search(left_members.begin(), left_members.end(),
+                              link.witness[bucket])) {
+        new_from = right_id;
+      }
+      link.from = new_from;
+      out_links_[new_from].push_back(link_index);
+    }
+    out_links_[pick].clear();
+    // Conservative until the evaluation below overwrites it, in case a
+    // link consults the bound in between.
+    nodes_[left_id].model_lo = parent_model_lo;
+    nodes_[right_id].model_lo = parent_model_lo;
+    RemoveNode(pick);
+
+    // Evaluate the children (one batch; counter order left-then-right
+    // matches the old nondominated-order refresh).
+    batch.clear();
+    batch.push_back(&nodes_[left_id].plan);
+    batch.push_back(&nodes_[right_id].plan);
+    evals = evaluator().EvaluateBatch(batch, model(), ctx(), &evaluations_,
+                                      probe_lower_bounds_);
+    const int child_ids[2] = {left_id, right_id};
+    for (int j = 0; j < 2; ++j) {
+      Node& node = nodes_[child_ids[j]];
       node.utility = evals[j].utility;
       node.model_lo = evals[j].model_lo;
       node.probe = evals[j].probe;
       node.eval_epoch = ctx().epoch();
+      ++node_version_[child_ids[j]];
+      PushNodeEntry(child_ids[j]);
     }
 
-    // (2.b) Create domination links among the nondominated plans. Any
-    // dominating pair is sound (Figure 5 links all of them); we link each
-    // dominated plan from its CLOSEST dominator in utility order, so the
-    // frontier forms a chain rather than a star: emitting the best plan
-    // then frees only its immediate successors instead of resurfacing the
-    // whole frontier. Pick the refinement target (2.c) in the same pass:
-    // highest upper bound among the surviving abstract plans (ties: widest
-    // interval).
-    std::sort(snapshot.begin(), snapshot.end(), [&](int a, int b) {
-      if (nodes_[a].utility.lo() != nodes_[b].utility.lo()) {
-        return nodes_[a].utility.lo() > nodes_[b].utility.lo();
-      }
-      return a < b;
-    });
-    int pick = -1;
-    for (size_t j = 0; j < snapshot.size(); ++j) {
-      const int n = snapshot[j];
-      bool dominated = false;
-      for (size_t i = j; i-- > 0;) {
-        if (Dominates(snapshot[i], n)) {
-          AddLink(snapshot[i], n);
-          dominated = true;
-          break;
-        }
-      }
-      if (dominated) continue;
-      const Node& node = nodes_[n];
-      if (node.concrete) continue;
-      if (pick < 0 || node.utility.hi() > nodes_[pick].utility.hi() ||
-          (node.utility.hi() == nodes_[pick].utility.hi() &&
-           node.utility.width() > nodes_[pick].utility.width())) {
-        pick = n;
-      }
-    }
-    if (pick >= 0) {
-      const AbstractPlan& plan = nodes_[pick].plan;
-      const AbstractionForest& forest = *plan.forest;
-      // Refine the bucket whose abstract source has the most members.
-      int bucket = -1;
-      size_t best_members = 0;
-      for (size_t b = 0; b < plan.nodes.size(); ++b) {
-        if (forest.is_leaf(plan.nodes[b])) continue;
-        const size_t members = forest.summary(plan.nodes[b]).members.size();
-        if (members > best_members) {
-          best_members = members;
-          bucket = static_cast<int>(b);
-        }
-      }
-      PLANORDER_CHECK_GE(bucket, 0);
-      AbstractPlan left = plan;
-      left.nodes[bucket] = forest.left(plan.nodes[bucket]);
-      AbstractPlan right = plan;
-      right.nodes[bucket] = forest.right(plan.nodes[bucket]);
-      const double parent_model_lo = nodes_[pick].model_lo;
-      const int left_id = AddNode(std::move(left));
-      const int right_id = AddNode(std::move(right));
-      // Transfer the refined node's outgoing links to the child containing
-      // each link's dominance witness: the witness (a concrete plan of the
-      // parent) lies in exactly one child and its justification carries
-      // over. Any-member links carry over to either child (its members are
-      // a subset of the parent's), at the price of a more conservative
-      // validity check later.
-      for (int link_index : out_links_[pick]) {
-        Link& link = links_[link_index];
-        const std::vector<int>& left_members =
-            nodes_[left_id].summaries[bucket]->members;
-        int new_from = left_id;
-        if (!std::binary_search(left_members.begin(), left_members.end(),
-                                link.witness[bucket])) {
-          new_from = right_id;
-        }
-        link.from = new_from;
-        out_links_[new_from].push_back(link_index);
-      }
-      out_links_[pick].clear();
-      // The children have no utilities yet; keep the lower bound the links
-      // may consult conservative until 2.a refreshes them.
-      nodes_[left_id].model_lo = parent_model_lo;
-      nodes_[right_id].model_lo = parent_model_lo;
-      RemoveNode(pick);
-      continue;
-    }
-
-    // (2.d) All nondominated plans are concrete. The star links leave
-    // exactly one (the max); scan for it for robustness.
-    int best = -1;
-    for (int n : nondominated_) {
-      if (best < 0 || nodes_[n].utility.lo() > nodes_[best].utility.lo()) {
-        best = n;
-      }
-    }
-    OrderedPlan result{nodes_[best].plan.ToConcrete(),
-                       nodes_[best].utility.lo()};
-    RemoveNode(best);
-    return result;
+    // Incremental link pass. Fresh is exactly the two children: the
+    // parent's outgoing links were transferred (not killed), so no node
+    // came back into the frontier this round.
+    fresh.clear();
+    fresh.push_back(left_id);
+    fresh.push_back(right_id);
+    candidates.clear();
+    candidates.insert(candidates.end(), nondominated_.begin(),
+                      nondominated_.end());
+    LinkFresh(fresh, candidates);
   }
+
+  // (2.d) All nondominated plans are concrete; emit the best (exact utility
+  // desc, id asc — the order the old set scan produced).
+  const FrontierHeap::Entry* best = concrete_heap_.Peek(concrete_live);
+  PLANORDER_CHECK(best != nullptr);
+  const int emit = static_cast<int>(best->slot);
+  concrete_heap_.PopTop();
+  OrderedPlan result{nodes_[emit].plan.ToConcrete(),
+                     nodes_[emit].utility.lo()};
+  RemoveNode(emit);
+  return result;
 }
 
 void StreamerOrderer::OnExecuted(const ConcretePlan& plan) {

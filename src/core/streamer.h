@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/abstraction.h"
+#include "core/frontier_heap.h"
 #include "core/orderer.h"
 
 namespace planorder::core {
@@ -53,6 +54,13 @@ class StreamerOrderer : public Orderer {
   /// Introspection for tests/benchmarks.
   int num_alive_nodes() const { return static_cast<int>(alive_.size()); }
   int num_alive_links() const { return static_cast<int>(alive_links_.size()); }
+
+  /// Per-node staleness walks performed by ComputeNext (the utility-currency
+  /// checks of step 2.a). Regression guard: the frontier is checked once per
+  /// emission, not once per refinement — a drain of E emissions with a
+  /// frontier of ~F nodes performs O(E * F) checks, not O(E * F *
+  /// refinements). See tests/streamer_test.cc.
+  int64_t num_staleness_checks() const { return num_staleness_checks_; }
 
  protected:
   StatusOr<OrderedPlan> ComputeNext() override;
@@ -110,6 +118,24 @@ class StreamerOrderer : public Orderer {
   /// True when the node's stored utility still reflects the executed set;
   /// fast-forwards eval_epoch when it does.
   bool UtilityCurrent(Node& node);
+  /// Pushes the node's current bounds into its selection heap (abstract
+  /// nodes by upper bound, concrete ones by exact utility).
+  void PushNodeEntry(int node_index);
+  /// True iff `a` precedes `b` in the dominator-scan order (utility lower
+  /// bound descending, id ascending) — only preceding nodes can dominate.
+  bool Precedes(int a, int b) const;
+  /// Full dominance-link pass over `snapshot` (sorted in place), used once
+  /// per ComputeNext after the refresh; each node links from its closest
+  /// preceding dominator.
+  void LinkFullPass(std::vector<int>& snapshot);
+  /// Incremental pass after one refinement: `fresh` is the set of nodes
+  /// whose dominance relations changed this round — the refinement's two
+  /// children (the parent's links are transferred, so nothing re-enters the
+  /// frontier mid-loop). Survivor-vs-survivor relations did not change
+  /// (their utilities are fixed within one ComputeNext), so only
+  /// fresh-vs-candidate and candidate-vs-fresh pairs are checked.
+  void LinkFresh(const std::vector<int>& fresh,
+                 const std::vector<int>& candidates);
 
   std::vector<std::unique_ptr<AbstractionForest>> forests_;
   std::vector<Node> nodes_;
@@ -120,6 +146,17 @@ class StreamerOrderer : public Orderer {
   std::set<int> nondominated_;                        // alive, incoming == 0
   std::set<int> alive_links_;                         // alive link indices
   std::vector<int> scratch_;                          // reusable buffer
+  /// Selection heaps over nondominated nodes (DESIGN.md §11), replacing the
+  /// per-refinement rescans: abstract nodes by (upper bound desc, width
+  /// desc, id asc), concrete ones by (exact utility desc, id asc). Entries
+  /// carry node_version_ at push time; an entry is live iff its node is
+  /// alive, currently nondominated, and the version still matches (lazy
+  /// decrease-key, as in idrips.cc). A node freed by KillLink re-pushes its
+  /// unchanged bounds, so a previously consumed entry cannot be missed.
+  FrontierHeap abstract_heap_;
+  FrontierHeap concrete_heap_;
+  std::vector<uint32_t> node_version_;
+  int64_t num_staleness_checks_ = 0;
   bool probe_lower_bounds_ = true;
 };
 

@@ -1,0 +1,195 @@
+#include "stats/bitmask_universe.h"
+
+#include "base/logging.h"
+
+namespace planorder::stats {
+
+BitmaskUniverse::BitmaskUniverse(
+    std::vector<std::vector<double>> region_weights)
+    : weights_(std::move(region_weights)) {
+  PLANORDER_CHECK(!weights_.empty());
+  PLANORDER_CHECK_LE(weights_.size(), static_cast<size_t>(kMaxDims))
+      << "BitmaskUniverse supports at most " << kMaxDims << " dimensions";
+  const size_t m = weights_.size();
+  full_.resize(m);
+  if (m > 1) any_.resize(m - 1);
+  weight_lut_.resize(m);
+  size_t level_size = 1;
+  for (size_t d = 0; d < m; ++d) {
+    const auto& w = weights_[d];
+    PLANORDER_CHECK(!w.empty() && w.size() <= 64)
+        << "between 1 and 64 regions per bucket";
+    valid_[d] = w.size() == 64 ? ~uint64_t{0} : (uint64_t{1} << w.size()) - 1;
+    full_[d].assign(level_size, 0);
+    if (d + 1 < m) any_[d].assign(level_size, 0);
+    level_size *= w.size();
+    // Weighted-popcount table: chunk c, byte value v -> summed weight of v's
+    // set bits (region c*8+i), added in ascending bit order so a table-based
+    // sum groups like a per-bit one.
+    const size_t chunks = (w.size() + 7) / 8;
+    auto& lut = weight_lut_[d];
+    lut.assign(chunks * 256, 0.0);
+    for (size_t c = 0; c < chunks; ++c) {
+      for (size_t v = 0; v < 256; ++v) {
+        double total = 0.0;
+        for (size_t i = 0; i < 8; ++i) {
+          if ((v >> i) & 1 && c * 8 + i < w.size()) total += w[c * 8 + i];
+        }
+        lut[c * 256 + v] = total;
+      }
+    }
+  }
+  for (size_t d = 0; d < m; ++d) covered_intersection_[d] = ~uint64_t{0};
+}
+
+double BitmaskUniverse::MaskWeight(int dimension, RegionMask mask) const {
+  const double* lut = weight_lut_[static_cast<size_t>(dimension)].data();
+  uint64_t bits = mask.bits & valid_[static_cast<size_t>(dimension)];
+  double total = 0.0;
+  size_t base = 0;
+  while (bits != 0) {
+    const uint64_t byte = bits & 0xff;
+    if (byte != 0) total += lut[base + byte];
+    bits >>= 8;
+    base += 256;
+  }
+  return total;
+}
+
+double BitmaskUniverse::BoxVolume(const RegionMask* box) const {
+  const int m = num_dimensions();
+  double volume = 1.0;
+  for (int d = 0; d < m; ++d) volume *= MaskWeight(d, box[d]);
+  return volume;
+}
+
+double BitmaskUniverse::BoxVolume(const std::vector<RegionMask>& box) const {
+  PLANORDER_CHECK_EQ(box.size(), weights_.size());
+  return BoxVolume(box.data());
+}
+
+double BitmaskUniverse::Residual(int d, size_t prefix, double prefix_weight,
+                                 const RegionMask* box,
+                                 const double* suffix_volume) const {
+  const int last = num_dimensions() - 1;
+  const uint64_t bits = box[d].bits & valid_[static_cast<size_t>(d)];
+  if (d == last) {
+    const uint64_t open = bits & ~full_[static_cast<size_t>(d)][prefix];
+    return open == 0 ? 0.0 : prefix_weight * MaskWeight(d, RegionMask{open});
+  }
+  // Fully covered subtrees contribute exactly 0.0; drop them with one AND.
+  const uint64_t open = bits & ~full_[static_cast<size_t>(d)][prefix];
+  const uint64_t some = any_[static_cast<size_t>(d)][prefix];
+  double total = 0.0;
+  // Untouched subtrees in closed form: weight of the free regions times the
+  // volume of the remaining dimensions' box — no cell visits.
+  const uint64_t free = open & ~some;
+  if (free != 0) {
+    total = prefix_weight * MaskWeight(d, RegionMask{free}) *
+            suffix_volume[d + 1];
+  }
+  // Recurse only into the partially covered boundary, ascending regions.
+  uint64_t partial = open & some;
+  const size_t regions = weights_[static_cast<size_t>(d)].size();
+  while (partial != 0) {
+    const int r = __builtin_ctzll(partial);
+    partial &= partial - 1;
+    const double w =
+        prefix_weight * weights_[static_cast<size_t>(d)][static_cast<size_t>(r)];
+    // A zero-weight prefix's whole subtree contributes exactly 0; skip it.
+    if (w == 0.0) continue;
+    total +=
+        Residual(d + 1, prefix * regions + static_cast<size_t>(r), w, box,
+                 suffix_volume);
+  }
+  return total;
+}
+
+double BitmaskUniverse::UncoveredBoxVolume(const RegionMask* box) const {
+  const int m = num_dimensions();
+  double suffix[kMaxDims + 1];
+  suffix[m] = 1.0;
+  for (int d = m - 1; d >= 0; --d) {
+    suffix[d] = MaskWeight(d, box[d]) * suffix[d + 1];
+  }
+  if (num_boxes_ == 0) return suffix[0];
+  bool contained_everywhere = true;
+  for (int d = 0; d < m; ++d) {
+    // Disjoint from the union of executed masks in any one dimension means
+    // no cell of the box can be covered.
+    if ((box[d].bits & covered_union_[static_cast<size_t>(d)]) == 0) {
+      return suffix[0];
+    }
+    if ((box[d].bits & ~covered_intersection_[static_cast<size_t>(d)]) != 0) {
+      contained_everywhere = false;
+    }
+  }
+  // Inside every executed box's mask in every dimension: already any single
+  // executed box covers all of this box's cells.
+  if (contained_everywhere) return 0.0;
+  return Residual(0, 0, 1.0, box, suffix);
+}
+
+double BitmaskUniverse::UncoveredBoxVolume(
+    const std::vector<RegionMask>& box) const {
+  PLANORDER_CHECK_EQ(box.size(), weights_.size());
+  return UncoveredBoxVolume(box.data());
+}
+
+void BitmaskUniverse::Cover(int d, size_t prefix, const RegionMask* box) {
+  const int last = num_dimensions() - 1;
+  const uint64_t bits = box[d].bits & valid_[static_cast<size_t>(d)];
+  if (d == last) {
+    full_[static_cast<size_t>(d)][prefix] |= bits;
+    return;
+  }
+  any_[static_cast<size_t>(d)][prefix] |= bits;
+  // Already-full subtrees stay full; only descend into the rest.
+  uint64_t todo = bits & ~full_[static_cast<size_t>(d)][prefix];
+  const size_t regions = weights_[static_cast<size_t>(d)].size();
+  uint64_t newly_full = 0;
+  while (todo != 0) {
+    const int r = __builtin_ctzll(todo);
+    todo &= todo - 1;
+    const size_t child = prefix * regions + static_cast<size_t>(r);
+    Cover(d + 1, child, box);
+    // Post-order fullness propagation: the child subtree is full once its
+    // own mask holds every valid region of the next dimension.
+    if (full_[static_cast<size_t>(d) + 1][child] == valid_[d + 1]) {
+      newly_full |= uint64_t{1} << r;
+    }
+  }
+  full_[static_cast<size_t>(d)][prefix] |= newly_full;
+}
+
+void BitmaskUniverse::AddBox(const RegionMask* box) {
+  const int m = num_dimensions();
+  ++num_boxes_;
+  bool empty = false;
+  for (int d = 0; d < m; ++d) {
+    covered_union_[static_cast<size_t>(d)] |= box[d].bits;
+    covered_intersection_[static_cast<size_t>(d)] &= box[d].bits;
+    if ((box[d].bits & valid_[static_cast<size_t>(d)]) == 0) empty = true;
+  }
+  // A box empty in any dimension has no cells; union/intersection above
+  // still see it (matching CoverageUniverse), the trie does not.
+  if (empty) return;
+  Cover(0, 0, box);
+}
+
+void BitmaskUniverse::AddBox(const std::vector<RegionMask>& box) {
+  PLANORDER_CHECK_EQ(box.size(), weights_.size());
+  AddBox(box.data());
+}
+
+void BitmaskUniverse::Clear() {
+  for (auto& level : full_) level.assign(level.size(), 0);
+  for (auto& level : any_) level.assign(level.size(), 0);
+  for (size_t d = 0; d < weights_.size(); ++d) {
+    covered_union_[d] = 0;
+    covered_intersection_[d] = ~uint64_t{0};
+  }
+  num_boxes_ = 0;
+}
+
+}  // namespace planorder::stats

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "stats/bitmask_universe.h"
 #include "stats/coverage_universe.h"
 #include "stats/source_stats.h"
 
@@ -87,6 +88,12 @@ class Workload {
   /// A fresh coverage universe over this workload's region weights.
   CoverageUniverse MakeUniverse() const {
     return CoverageUniverse(region_weights_);
+  }
+
+  /// The compiled (trie + popcount-table) form of the same universe — what
+  /// the ordering core evaluates against (DESIGN.md §11).
+  BitmaskUniverse MakeBitmaskUniverse() const {
+    return BitmaskUniverse(region_weights_);
   }
 
  private:

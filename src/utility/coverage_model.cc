@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <functional>
 
+#include "base/logging.h"
+
 namespace planorder::utility {
 
 Interval CoverageModel::Evaluate(NodeSpan nodes,
                                  const ExecutionContext& ctx) const {
-  std::vector<stats::RegionMask> upper_box(nodes.size());
-  std::vector<stats::RegionMask> lower_box(nodes.size());
+  // Stack boxes — this is the innermost evaluation path of every orderer and
+  // must not allocate (DESIGN.md §11).
+  constexpr size_t kMaxDims =
+      static_cast<size_t>(stats::BitmaskUniverse::kMaxDims);
+  PLANORDER_CHECK_LE(nodes.size(), kMaxDims);
+  stats::RegionMask upper_box[kMaxDims];
+  stats::RegionMask lower_box[kMaxDims];
   bool concrete = true;
   double member_bound = 1.0;  // every member's box volume is at most this
   for (size_t b = 0; b < nodes.size(); ++b) {
@@ -26,8 +33,8 @@ Interval CoverageModel::Evaluate(NodeSpan nodes,
   // adds nothing over member_bound anyway; both are sound enclosures).
   double hi = member_bound;
   uint64_t union_cells = 1;
-  for (const stats::RegionMask& mask : upper_box) {
-    union_cells *= static_cast<uint64_t>(mask.count());
+  for (size_t b = 0; b < nodes.size(); ++b) {
+    union_cells *= static_cast<uint64_t>(upper_box[b].count());
   }
   if (union_cells <= 2048) {
     hi = std::min(hi, ctx.universe().UncoveredBoxVolume(upper_box));
@@ -57,6 +64,21 @@ bool CoverageModel::GroupIndependentOf(NodeSpan nodes,
     if (!nodes[b]->mask_union.Intersects(mp)) return true;
   }
   return false;
+}
+
+bool CoverageModel::IndependenceKeys(NodeSpan nodes, uint64_t* keys) const {
+  for (size_t b = 0; b < nodes.size(); ++b) {
+    keys[b] = nodes[b]->mask_union.bits;
+  }
+  return true;
+}
+
+bool CoverageModel::PlanIndependenceKeys(const ConcretePlan& plan,
+                                         uint64_t* keys) const {
+  for (size_t b = 0; b < plan.size(); ++b) {
+    keys[b] = workload().source(static_cast<int>(b), plan[b]).regions.bits;
+  }
+  return true;
 }
 
 int CoverageModel::ProbeMember(const stats::StatSummary& summary) const {

@@ -35,6 +35,15 @@ class CoverageModel : public UtilityModel {
   bool GroupIndependentOf(NodeSpan nodes,
                           const ConcretePlan& plan) const override;
 
+  /// Keyed form of the same test: group keys are the per-bucket union masks,
+  /// plan keys the per-bucket source region masks, so the keyed AND-scan is
+  /// exactly GroupIndependentOf. Region masks are at most 64 bits by
+  /// construction (stats::CoverageUniverse checks), so one word per bucket
+  /// always suffices.
+  bool IndependenceKeys(NodeSpan nodes, uint64_t* keys) const override;
+  bool PlanIndependenceKeys(const ConcretePlan& plan,
+                            uint64_t* keys) const override;
+
   /// Exact backtracking over buckets: per bucket, each candidate source
   /// "kills" (is disjoint from) a subset of `others`; searches for a choice
   /// whose kill sets cover all of them, with a node budget (sound to give

@@ -3,7 +3,8 @@
 
 #include <vector>
 
-#include "stats/coverage_universe.h"
+#include "base/logging.h"
+#include "stats/bitmask_universe.h"
 #include "stats/workload.h"
 
 namespace planorder::utility {
@@ -36,7 +37,7 @@ class ExecutionContext {
  public:
   /// `workload` must outlive the context.
   explicit ExecutionContext(const stats::Workload* workload)
-      : workload_(workload), universe_(workload->MakeUniverse()) {
+      : workload_(workload), universe_(workload->MakeBitmaskUniverse()) {
     cached_.resize(workload->num_buckets());
     external_.resize(workload->num_buckets());
     for (int b = 0; b < workload->num_buckets(); ++b) {
@@ -50,7 +51,9 @@ class ExecutionContext {
   /// Records that `plan` has been executed: covers its coverage box and
   /// caches its source operations.
   void MarkExecuted(const ConcretePlan& plan) {
-    std::vector<stats::RegionMask> box(plan.size());
+    PLANORDER_CHECK_EQ(plan.size(),
+                       static_cast<size_t>(universe_.num_dimensions()));
+    stats::RegionMask box[stats::BitmaskUniverse::kMaxDims];
     for (size_t b = 0; b < plan.size(); ++b) {
       box[b] = workload_->source(static_cast<int>(b), plan[b]).regions;
       cached_[b][plan[b]] = 1;
@@ -74,7 +77,7 @@ class ExecutionContext {
   const std::vector<ConcretePlan>& executed() const { return executed_; }
   int64_t epoch() const { return static_cast<int64_t>(executed_.size()); }
 
-  const stats::CoverageUniverse& universe() const { return universe_; }
+  const stats::BitmaskUniverse& universe() const { return universe_; }
 
   /// True when the (bucket, source) operation result is cached — by one of
   /// this context's executed plans or externally (cross-session).
@@ -104,7 +107,7 @@ class ExecutionContext {
 
  private:
   const stats::Workload* workload_;
-  stats::CoverageUniverse universe_;
+  stats::BitmaskUniverse universe_;
   std::vector<ConcretePlan> executed_;
   std::vector<std::vector<char>> cached_;
   std::vector<std::vector<char>> external_;

@@ -82,6 +82,31 @@ class UtilityModel {
     return false;
   }
 
+  /// Batched form of GroupIndependentOf (DESIGN.md §11): when both key
+  /// methods return true, the group is independent of the plan iff
+  /// `keys_g[b] & keys_p[b] == 0` for SOME bucket b — a few word-ANDs
+  /// instead of a virtual call per (candidate, emission) pair, which is what
+  /// the persistent frontier's staleness scan performs millions of times per
+  /// drain. A model that can express its GroupIndependentOf this way fills
+  /// `keys[0..nodes.size())` and returns true; the default declines and
+  /// callers fall back to the virtual test. Returning keys is a promise of
+  /// exact agreement with GroupIndependentOf, not an approximation — the
+  /// scan's outcome decides which utilities are re-evaluated, so a mismatch
+  /// would change evaluation counts.
+  virtual bool IndependenceKeys(NodeSpan nodes, uint64_t* keys) const {
+    (void)nodes;
+    (void)keys;
+    return false;
+  }
+
+  /// Key form of an executed plan, matched against IndependenceKeys above.
+  virtual bool PlanIndependenceKeys(const ConcretePlan& plan,
+                                    uint64_t* keys) const {
+    (void)plan;
+    (void)keys;
+    return false;
+  }
+
   /// Existential group independence, the core of Streamer's link-validity
   /// check (Figure 5, CheckValidity): finds a concrete plan represented by
   /// `nodes` that is independent of every plan in `others`, or nullopt.

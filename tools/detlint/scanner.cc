@@ -307,7 +307,8 @@ std::string CheckTitle(CheckId check) {
              "environment) outside src/runtime/clock.* and src/base/rng.h";
     case CheckId::kD2:
       return "unordered container in an ordering/emission/answer path "
-             "(src/core, src/anyk, src/exec, src/sim, src/cluster)";
+             "(src/core, src/anyk, src/exec, src/sim, src/cluster, "
+             "src/stats coverage/bitmask universes)";
     case CheckId::kD3:
       return "floating-point accumulation in a weight fold path (src/anyk); "
              "breaks the dyadic-rational bit-exactness invariant";
@@ -345,11 +346,15 @@ bool CheckAppliesTo(CheckId check, const std::string& relpath) {
       return relpath != "src/runtime/clock.h" &&
              relpath != "src/runtime/clock.cc" && relpath != "src/base/rng.h";
     case CheckId::kD2:
+      // The coverage/bitmask universes feed utility intervals that decide
+      // emission order, so they are ordering paths like src/core proper.
       return StartsWith(relpath, "src/core/") ||
              StartsWith(relpath, "src/anyk/") ||
              StartsWith(relpath, "src/exec/") ||
              StartsWith(relpath, "src/sim/") ||
-             StartsWith(relpath, "src/cluster/");
+             StartsWith(relpath, "src/cluster/") ||
+             StartsWith(relpath, "src/stats/coverage_universe") ||
+             StartsWith(relpath, "src/stats/bitmask_universe");
     case CheckId::kD3:
       return StartsWith(relpath, "src/anyk/");
     case CheckId::kD4:
