@@ -1,0 +1,25 @@
+#include "adaptive/drift_monitor.h"
+
+namespace planorder::adaptive {
+
+bool StatsDiverged(const stats::Workload& baseline,
+                   const std::vector<std::vector<std::string>>& source_names,
+                   const ObservedStats& observed, const DriftOptions& options) {
+  const double band = options.band < 1.0 ? 1.0 : options.band;
+  const int buckets = baseline.num_buckets();
+  if (int(source_names.size()) != buckets) return false;
+  for (int b = 0; b < buckets; ++b) {
+    if (int(source_names[b].size()) != baseline.bucket_size(b)) return false;
+    for (int i = 0; i < baseline.bucket_size(b); ++i) {
+      const SourceEstimate e = observed.EstimateFor(source_names[b][i]);
+      if (e.card_windows == 0 || e.calls < options.min_calls) continue;
+      const double base = baseline.source(b, i).cardinality;
+      if (base <= 0.0) continue;  // FromParts forbids this; belt and braces
+      const double ratio = e.cardinality / base;
+      if (ratio > band || ratio * band < 1.0) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace planorder::adaptive

@@ -1,0 +1,138 @@
+#include "adaptive/observed_stats.h"
+
+#include <utility>
+
+namespace planorder::adaptive {
+
+namespace {
+
+/// Workload::FromParts requires strictly positive cardinalities; a source
+/// observed shipping zero rows still exists, it is just very selective.
+constexpr double kMinCardinality = 1e-3;
+/// Failure probabilities must stay in [0, 1) for the failure measures'
+/// success-product math; 0.95 caps an always-failing source short of "never
+/// succeeds" (which would zero its utility outright and divide elsewhere).
+constexpr double kMaxFailureProb = 0.95;
+
+double Ewma(bool first, double decay, double window_mean, double previous) {
+  return first ? window_mean : decay * window_mean + (1.0 - decay) * previous;
+}
+
+}  // namespace
+
+void ObservedStats::RecordFetch(const std::string& source_name,
+                                const runtime::SourceObservation& observation) {
+  MutexLock lock(mu_);
+  Window& w = window_[source_name];
+  w.calls += 1;
+  if (!observation.call_failed) w.ok_calls += 1;
+  w.attempts += observation.attempts;
+  w.failures += observation.failures;
+  w.rows += observation.rows;
+  w.latency_micros += observation.latency_micros;
+}
+
+int ObservedStats::FoldWindow() {
+  MutexLock lock(mu_);
+  int folded = 0;
+  for (const auto& [name, w] : window_) {
+    if (w.calls == 0) continue;
+    SourceEstimate& e = folded_[name];
+    const double decay = options_.decay;
+    const double calls = double(w.calls);
+    e.latency_ms = Ewma(e.windows == 0, decay,
+                        double(w.latency_micros) / 1000.0 / calls,
+                        e.latency_ms);
+    const double failure_mean =
+        w.attempts > 0 ? double(w.failures) / double(w.attempts) : 0.0;
+    e.failure_prob = Ewma(e.windows == 0, decay, failure_mean, e.failure_prob);
+    if (w.ok_calls > 0) {
+      e.cardinality = Ewma(e.card_windows == 0, decay,
+                           double(w.rows) / double(w.ok_calls), e.cardinality);
+      e.card_windows += 1;
+    }
+    e.windows += 1;
+    e.calls += w.calls;
+    ++folded;
+  }
+  window_.clear();
+  if (folded > 0) ++generation_;
+  return folded;
+}
+
+int64_t ObservedStats::generation() const {
+  MutexLock lock(mu_);
+  return generation_;
+}
+
+SourceEstimate ObservedStats::EstimateFor(const std::string& source_name) const {
+  MutexLock lock(mu_);
+  auto it = folded_.find(source_name);
+  return it == folded_.end() ? SourceEstimate{} : it->second;
+}
+
+std::vector<std::pair<std::string, SourceEstimate>> ObservedStats::Snapshot()
+    const {
+  MutexLock lock(mu_);
+  std::vector<std::pair<std::string, SourceEstimate>> snapshot;
+  snapshot.reserve(folded_.size());
+  for (const auto& [name, estimate] : folded_) {
+    snapshot.emplace_back(name, estimate);
+  }
+  return snapshot;
+}
+
+void ObservedStats::Restore(const std::string& source_name,
+                            const SourceEstimate& estimate) {
+  MutexLock lock(mu_);
+  folded_[source_name] = estimate;
+  ++generation_;
+}
+
+StatusOr<stats::Workload> BlendWorkload(
+    const stats::Workload& estimates,
+    const std::vector<std::vector<std::string>>& source_names,
+    const ObservedStats& observed) {
+  if (int(source_names.size()) != estimates.num_buckets()) {
+    return InvalidArgumentError("source_names bucket count mismatch");
+  }
+  std::vector<std::vector<stats::SourceStats>> buckets;
+  buckets.resize(estimates.num_buckets());
+  for (int b = 0; b < estimates.num_buckets(); ++b) {
+    if (int(source_names[b].size()) != estimates.bucket_size(b)) {
+      return InvalidArgumentError("source_names bucket " + std::to_string(b) +
+                                  " size mismatch");
+    }
+    buckets[b].reserve(estimates.bucket_size(b));
+    for (int i = 0; i < estimates.bucket_size(b); ++i) {
+      stats::SourceStats s = estimates.source(b, i);
+      const SourceEstimate e = observed.EstimateFor(source_names[b][i]);
+      if (e.windows > 0) {
+        double failure = e.failure_prob;
+        if (failure < 0.0) failure = 0.0;
+        if (failure > kMaxFailureProb) failure = kMaxFailureProb;
+        s.failure_prob = failure;
+        if (e.card_windows > 0) {
+          s.cardinality =
+              e.cardinality > kMinCardinality ? e.cardinality : kMinCardinality;
+          // Observed latency is per call; spreading it over the observed
+          // rows gives the per-tuple transmission cost α of cost measure
+          // (2), with the per-call overhead conservatively folded in.
+          s.transmission_cost = e.latency_ms / s.cardinality;
+        }
+      }
+      buckets[b].push_back(s);
+    }
+  }
+  std::vector<std::vector<double>> region_weights = estimates.region_weights();
+  std::vector<double> domain_sizes;
+  domain_sizes.reserve(estimates.num_buckets());
+  for (int b = 0; b < estimates.num_buckets(); ++b) {
+    domain_sizes.push_back(estimates.domain_size(b));
+  }
+  return stats::Workload::FromParts(std::move(buckets),
+                                    std::move(region_weights),
+                                    estimates.access_overhead(), domain_sizes);
+}
+
+}  // namespace planorder::adaptive

@@ -1,0 +1,133 @@
+#ifndef PLANORDER_ADAPTIVE_OBSERVED_STATS_H_
+#define PLANORDER_ADAPTIVE_OBSERVED_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/status.h"
+#include "base/thread_annotations.h"
+#include "runtime/trace_sink.h"
+#include "stats/workload.h"
+
+namespace planorder::adaptive {
+
+struct ObservedStatsOptions {
+  /// EWMA weight of the newest closed window:
+  ///   stat' = decay * window_mean + (1 - decay) * stat.
+  /// 1.0 forgets history entirely (each window replaces the estimate), small
+  /// values smooth over many windows. The first window is taken verbatim.
+  double decay = 0.5;
+};
+
+/// Folded per-source statistics learned from execution traces. `windows` /
+/// `card_windows` double as presence markers: a source with zero folded
+/// windows has never been observed and must fall back to its estimate.
+struct SourceEstimate {
+  /// Windows folded with at least one completed call.
+  int64_t windows = 0;
+  /// Windows folded with at least one *successful* call — only those update
+  /// the cardinality (a failed call ships zero rows and says nothing about
+  /// the source's true cardinality).
+  int64_t card_windows = 0;
+  /// Total completed calls folded so far (divergence-band qualifier).
+  int64_t calls = 0;
+  /// EWMA result tuples per successful call.
+  double cardinality = 0.0;
+  /// EWMA total simulated latency per call, milliseconds.
+  double latency_ms = 0.0;
+  /// EWMA failed-attempt fraction.
+  double failure_prob = 0.0;
+};
+
+/// The observe edge of the adaptive loop (ROADMAP "Adaptive statistics and
+/// persistent plan memory"): accumulates per-call execution traces into
+/// windows of pure integer counters and folds closed windows into per-source
+/// EWMA estimates.
+///
+/// Determinism contract: RecordFetch only performs integer additions under a
+/// mutex, and integer addition commutes and associates exactly — so after
+/// ingesting the same multiset of observations the window state is
+/// bit-identical whether it was fed by one thread or eight, in any
+/// interleaving. FoldWindow walks sources in std::map (name) order and is
+/// the only place floating point enters, serially — making the folded
+/// estimates bit-exact functions of (fold schedule, observation multiset),
+/// never of thread scheduling.
+class ObservedStats : public runtime::SourceTraceSink {
+ public:
+  explicit ObservedStats(const ObservedStatsOptions& options = {})
+      : options_(options) {}
+
+  const ObservedStatsOptions& options() const { return options_; }
+
+  /// Adds one completed call to the open window. Thread-safe; integer-only.
+  void RecordFetch(const std::string& source_name,
+                   const runtime::SourceObservation& observation) override
+      EXCLUDES(mu_);
+
+  /// Closes the open window: folds every source with at least one recorded
+  /// call into its EWMA estimate and clears the window. Returns the number
+  /// of sources folded; the generation counter advances only when that is
+  /// nonzero. Callers decide the window schedule (per emission step in the
+  /// sim, per session step in benchmarks).
+  int FoldWindow() EXCLUDES(mu_);
+
+  /// Number of folds (plus restores) that changed the folded state. A
+  /// divergence monitor that saw generation g need not re-test until the
+  /// generation moves.
+  int64_t generation() const EXCLUDES(mu_);
+
+  /// Folded estimate for one source; `windows == 0` means never observed.
+  SourceEstimate EstimateFor(const std::string& source_name) const
+      EXCLUDES(mu_);
+
+  /// All folded estimates in source-name order (persistence snapshot).
+  std::vector<std::pair<std::string, SourceEstimate>> Snapshot() const
+      EXCLUDES(mu_);
+
+  /// Reinstates a persisted estimate (warm restart); bumps the generation.
+  void Restore(const std::string& source_name, const SourceEstimate& estimate)
+      EXCLUDES(mu_);
+
+ private:
+  /// Open-window accumulators. Integral on purpose — see class comment.
+  struct Window {
+    int64_t calls = 0;     // completed logical calls
+    int64_t ok_calls = 0;  // ... that returned rows
+    int64_t attempts = 0;
+    int64_t failures = 0;
+    int64_t rows = 0;
+    int64_t latency_micros = 0;
+  };
+
+  ObservedStatsOptions options_;
+  mutable Mutex mu_;
+  std::map<std::string, Window> window_ GUARDED_BY(mu_);
+  std::map<std::string, SourceEstimate> folded_ GUARDED_BY(mu_);
+  int64_t generation_ GUARDED_BY(mu_) = 0;
+};
+
+/// Overlays folded observations onto an estimated workload: a source with at
+/// least one folded window gets its failure probability (and, once a
+/// successful call was seen, its cardinality and per-tuple transmission
+/// cost) replaced by the observed EWMA values; a zero-observation source
+/// keeps its estimates untouched — the fallback the adaptive loop relies on
+/// before any traffic has flowed. Region masks, region weights, access
+/// overhead and domain sizes always come from `estimates` (coverage is not
+/// observable from traces). `source_names[b][i]` names the source at bucket
+/// b, index i and must match the workload's shape.
+///
+/// With no folded observations at all the result is a bit-identical copy of
+/// `estimates` — the blend is exact, not approximate, so a fresh adaptive
+/// orderer ranks exactly like a non-adaptive one.
+StatusOr<stats::Workload> BlendWorkload(
+    const stats::Workload& estimates,
+    const std::vector<std::vector<std::string>>& source_names,
+    const ObservedStats& observed);
+
+}  // namespace planorder::adaptive
+
+#endif  // PLANORDER_ADAPTIVE_OBSERVED_STATS_H_

@@ -18,9 +18,28 @@ ShardedService::ShardedService(const datalog::Catalog* catalog,
     if (options_.source_cache != nullptr) {
       shard_options.source_cache_view = options_.source_cache;
     }
+    if (!options_.plan_store_dir.empty()) {
+      stores_.push_back(std::make_unique<adaptive::PlanStore>(
+          options_.plan_store_dir + "/shard_" + std::to_string(i) +
+          ".planstore"));
+      shard_options.plan_store = stores_.back().get();
+    }
     shards_.push_back(std::make_unique<service::QueryService>(
         catalog, source_facts, std::move(shard_options), executor));
   }
+}
+
+Status ShardedService::PersistAll() {
+  if (stores_.empty()) {
+    return FailedPreconditionError(
+        "PersistAll: no plan_store_dir configured");
+  }
+  Status first_error = OkStatus();
+  for (const std::unique_ptr<service::QueryService>& shard : shards_) {
+    Status status = shard->PersistPlanStore();
+    if (!status.ok() && first_error.ok()) first_error = std::move(status);
+  }
+  return first_error;
 }
 
 int ShardedService::ShardFor(const datalog::ConjunctiveQuery& query) const {

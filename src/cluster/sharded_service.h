@@ -2,8 +2,10 @@
 #define PLANORDER_CLUSTER_SHARDED_SERVICE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "adaptive/plan_store.h"
 #include "base/logging.h"
 #include "cluster/source_cache.h"
 #include "service/query_service.h"
@@ -24,6 +26,15 @@ struct ClusterOptions {
   /// ServiceOptions::source_cache_view; the caller wires the same cache into
   /// the fetch path via runtime::RuntimeOptions::source_cache.
   SourceOperationCache* source_cache = nullptr;
+
+  /// When non-empty, each shard gets its own persistent plan/stats store at
+  /// `<plan_store_dir>/shard_<i>.planstore` (DESIGN.md §12): warm restarts
+  /// reload every shard's reformulation cache and learned statistics, and
+  /// PersistAll() flushes them on demand. The directory must already exist.
+  /// Because routing is deterministic (canonical-form hash mod num_shards),
+  /// a restart with the same num_shards finds each query class's entries on
+  /// its home shard. Empty = persistence disabled.
+  std::string plan_store_dir;
 };
 
 /// The cluster front end (DESIGN.md §10): N independent QueryService shards
@@ -84,8 +95,18 @@ class ShardedService {
   /// The shared source cache, or null when none was configured.
   SourceOperationCache* source_cache() const { return options_.source_cache; }
 
+  /// Flushes every shard's reformulation cache + learned statistics to its
+  /// plan store (shutdown checkpoint). kFailedPrecondition when
+  /// plan_store_dir was empty; otherwise the first shard-save error, with
+  /// the remaining shards still attempted.
+  Status PersistAll();
+
  private:
   ClusterOptions options_;
+  /// Per-shard persistent stores (parallel to shards_); empty when
+  /// plan_store_dir is empty. Declared before shards_ so each store outlives
+  /// the QueryService borrowing it.
+  std::vector<std::unique_ptr<adaptive::PlanStore>> stores_;
   std::vector<std::unique_ptr<service::QueryService>> shards_;
 };
 

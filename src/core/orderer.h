@@ -40,8 +40,27 @@ class Orderer {
   /// Emits the next best plan, or NotFound when the spaces are exhausted.
   StatusOr<OrderedPlan> Next();
 
-  /// Declares the previously emitted plan discarded (not executed).
-  void ReportDiscarded() { pending_.reset(); }
+  /// Declares the previously emitted plan discarded (not executed). Virtual
+  /// so delegating orderers (adaptive re-ranking, src/adaptive/) can forward
+  /// the discard to an inner orderer.
+  virtual void ReportDiscarded() { pending_.reset(); }
+
+  /// Conditions this orderer on a plan that was executed before it was
+  /// built — the re-rank / warm-restart entry point (src/adaptive/): the
+  /// plan covers its coverage box, marks its operations cached and
+  /// conditions every subsequent utility exactly as a live emission would
+  /// have. Must be called before the first Next(); the plan stays a member
+  /// of the plan spaces, so callers replacing an orderer mid-stream must
+  /// filter the preloaded plans out of the new emission stream themselves.
+  Status PreloadExecuted(const ConcretePlan& plan) {
+    if (started_ || pending_.has_value()) {
+      return FailedPreconditionError(
+          "PreloadExecuted must precede the first Next()");
+    }
+    ctx_.MarkExecuted(plan);
+    OnExecuted(plan);
+    return OkStatus();
+  }
 
   /// Number of utility evaluations performed so far (concrete + abstract) —
   /// the paper's plan-evaluation metric.
@@ -55,7 +74,7 @@ class Orderer {
   /// here changes the conditional utilities of every not-yet-emitted plan;
   /// incremental orderers detect the change through the context's external
   /// generation counter and re-evaluate stale frontier entries.
-  void SetExternallyCached(int bucket, int source, bool cached) {
+  virtual void SetExternallyCached(int bucket, int source, bool cached) {
     ctx_.SetExternallyCached(bucket, source, cached);
   }
 
@@ -64,7 +83,9 @@ class Orderer {
   /// sessions) and may be null to run serially. Emission order, utilities
   /// and plan_evaluations() are byte-identical with and without a pool —
   /// parallelism only changes wall-clock time.
-  void set_eval_pool(runtime::ThreadPool* pool) { evaluator_.set_pool(pool); }
+  virtual void set_eval_pool(runtime::ThreadPool* pool) {
+    evaluator_.set_pool(pool);
+  }
 
  protected:
   Orderer(const stats::Workload* workload, utility::UtilityModel* model)
@@ -96,9 +117,11 @@ class Orderer {
   utility::UtilityModel* model_;
   BatchEvaluator evaluator_;
   std::optional<ConcretePlan> pending_;
+  bool started_ = false;
 };
 
 inline StatusOr<OrderedPlan> Orderer::Next() {
+  started_ = true;
   if (pending_.has_value()) {
     ctx_.MarkExecuted(*pending_);
     OnExecuted(*pending_);

@@ -1,5 +1,7 @@
 #include "runtime/remote_source.h"
 
+#include <cmath>
+
 #include "base/rng.h"
 
 namespace planorder::runtime {
@@ -94,9 +96,25 @@ RemoteSource::FetchBatchUncached(
     }
     if (accounting != nullptr) accounting->Merge(acct);
   };
+  // Trace export (the observe edge of the adaptive loop): one observation
+  // per logical call, on every exit path. Latency is quantized to integer
+  // microseconds so downstream accumulation commutes exactly.
+  const auto report = [&](int64_t rows, int64_t attempts, int64_t failures,
+                          double total_ms, bool call_failed) {
+    if (trace_sink_ == nullptr) return;
+    SourceObservation obs;
+    obs.rows = rows;
+    obs.attempts = attempts;
+    obs.failures = failures;
+    obs.latency_micros = llround(total_ms * 1000.0);
+    obs.call_failed = call_failed;
+    trace_sink_->RecordFetch(name(), obs);
+  };
   if (model_.permanently_failed) {
     ++acct.permanent_failures;
     commit();
+    report(/*rows=*/0, /*attempts=*/1, /*failures=*/1, /*total_ms=*/0.0,
+           /*call_failed=*/true);
     return UnavailableError("source '" + name() + "' is permanently down");
   }
   const uint64_t call_hash = BatchHash(seed_, batch);
@@ -151,6 +169,8 @@ RemoteSource::FetchBatchUncached(
       if (latency_ms > acct.latency_ms_max) acct.latency_ms_max = latency_ms;
       if (hedged) ++acct.hedged_calls;
       commit();
+      report(int64_t(rows->size()), attempt, attempt - 1, call_total_ms,
+             /*call_failed=*/false);
       clock_->SleepMs(latency_ms, time_dilation_);
       if (simulated_ms != nullptr) *simulated_ms += call_total_ms;
       return rows;
@@ -169,6 +189,8 @@ RemoteSource::FetchBatchUncached(
     clock_->SleepMs(latency_ms, time_dilation_);
     if (attempt >= max_attempts) {
       commit();
+      report(/*rows=*/0, attempt, attempt, call_total_ms,
+             /*call_failed=*/true);
       if (simulated_ms != nullptr) *simulated_ms += call_total_ms;
       return UnavailableError("source '" + name() + "' failed " +
                               std::to_string(attempt) +
@@ -180,6 +202,8 @@ RemoteSource::FetchBatchUncached(
     if (retry.retry_budget_ms > 0.0 &&
         backoff_spent_ms > retry.retry_budget_ms) {
       commit();
+      report(/*rows=*/0, attempt, attempt, call_total_ms,
+             /*call_failed=*/true);
       if (simulated_ms != nullptr) *simulated_ms += call_total_ms;
       return UnavailableError("source '" + name() +
                               "': retry budget exhausted after " +
@@ -256,6 +280,10 @@ void RemoteRegistry::set_clock(Clock* clock) {
 
 void RemoteRegistry::set_result_cache(SourceResultCache* cache) {
   for (auto& [unused, source] : sources_) source->set_result_cache(cache);
+}
+
+void RemoteRegistry::set_trace_sink(SourceTraceSink* sink) {
+  for (auto& [unused, source] : sources_) source->set_trace_sink(sink);
 }
 
 exec::RuntimeAccounting RemoteRegistry::TotalStats() const {

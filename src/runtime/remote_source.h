@@ -16,6 +16,7 @@
 #include "runtime/clock.h"
 #include "runtime/retry_policy.h"
 #include "runtime/source_result_cache.h"
+#include "runtime/trace_sink.h"
 
 namespace planorder::runtime {
 
@@ -93,6 +94,14 @@ class RemoteSource {
   /// calls begin.
   void set_result_cache(SourceResultCache* cache) { cache_ = cache; }
 
+  /// Attaches an execution-trace sink (borrowed, may be null to detach).
+  /// Every completed uncached call — success or failure — is reported once
+  /// with its observed row count, attempt/failure counts and total simulated
+  /// latency; cache hits are not reported. The sink itself must be
+  /// thread-safe. Like set_model, must be called before concurrent calls
+  /// begin.
+  void set_trace_sink(SourceTraceSink* sink) { trace_sink_ = sink; }
+
   /// One resilient batched access (semantics of AccessibleSource::FetchBatch,
   /// including the uniform-position-set precondition). Transient failures
   /// and deadline timeouts are retried per `retry`; exhausting attempts or a
@@ -130,6 +139,7 @@ class RemoteSource {
   double time_dilation_ = 1.0;
   Clock* clock_ = RealClock::Instance();
   SourceResultCache* cache_ = nullptr;
+  SourceTraceSink* trace_sink_ = nullptr;
   mutable Mutex mu_;
   exec::RuntimeAccounting stats_ GUARDED_BY(mu_);
 };
@@ -155,6 +165,9 @@ class RemoteRegistry {
   /// Attaches one shared result cache to every source (borrowed, may be
   /// null to detach).
   void set_result_cache(SourceResultCache* cache);
+  /// Attaches one execution-trace sink to every source (borrowed, may be
+  /// null to detach) — see RemoteSource::set_trace_sink.
+  void set_trace_sink(SourceTraceSink* sink);
 
   /// Aggregated runtime accounting across sources.
   exec::RuntimeAccounting TotalStats() const;

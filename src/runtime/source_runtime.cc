@@ -16,6 +16,9 @@ SourceRuntime::SourceRuntime(exec::SourceRegistry* sources,
   if (options_.source_cache != nullptr) {
     remotes_.set_result_cache(options_.source_cache);
   }
+  if (options_.trace_sink != nullptr) {
+    remotes_.set_trace_sink(options_.trace_sink);
+  }
   join_options_.max_partitions = options_.max_partitions_per_call > 0
                                      ? options_.max_partitions_per_call
                                      : pool_.num_threads();

@@ -43,6 +43,11 @@ struct RuntimeOptions {
   /// null). When set, every RemoteSource consults it before paying network
   /// latency — see RemoteSource::set_result_cache and src/cluster/.
   SourceResultCache* source_cache = nullptr;
+  /// Execution-trace sink (borrowed, may be null). Every completed uncached
+  /// source call is reported with observed rows / attempts / failures /
+  /// latency — the feed of the adaptive statistics layer
+  /// (src/adaptive/observed_stats.h). See RemoteSource::set_trace_sink.
+  SourceTraceSink* trace_sink = nullptr;
 };
 
 /// The runtime assembled: a thread pool + a RemoteRegistry over an

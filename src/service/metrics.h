@@ -74,6 +74,14 @@ struct ServiceMetricsSnapshot {
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
 
+  // Plan-store persistence (ServiceOptions::plan_store).
+  /// Reformulations restored from the store at construction (warm start).
+  int64_t plan_store_entries_loaded = 0;
+  /// Stores rejected at load (corruption, version/catalog mismatch) — each
+  /// one is a survived cold start, not a crash.
+  int64_t plan_store_load_failures = 0;
+  int64_t plan_store_saves = 0;
+
   // Mediation totals across completed sessions.
   int64_t total_answers = 0;
   int64_t total_steps = 0;
@@ -100,6 +108,7 @@ struct ServiceMetricsSnapshot {
     cache.hits += other.cache.hits;
     cache.misses += other.cache.misses;
     cache.collisions += other.cache.collisions;
+    cache.containment_hits += other.cache.containment_hits;
     cache.evictions += other.cache.evictions;
     cache.insertions += other.cache.insertions;
     cache.size += other.cache.size;
@@ -107,6 +116,9 @@ struct ServiceMetricsSnapshot {
     canonicalizations += other.canonicalizations;
     cache_verifications += other.cache_verifications;
     cache_verification_failures += other.cache_verification_failures;
+    plan_store_entries_loaded += other.plan_store_entries_loaded;
+    plan_store_load_failures += other.plan_store_load_failures;
+    plan_store_saves += other.plan_store_saves;
     total_answers += other.total_answers;
     total_steps += other.total_steps;
     runtime.Merge(other.runtime);

@@ -9,6 +9,7 @@
 #include "core/streamer.h"
 #include "datalog/canonicalize.h"
 #include "datalog/containment.h"
+#include "datalog/parser.h"
 #include "utility/measures.h"
 
 namespace planorder::service {
@@ -30,7 +31,104 @@ QueryService::QueryService(const datalog::Catalog* catalog,
                      : nullptr),
       clock_(options_.clock != nullptr ? options_.clock
                                        : runtime::RealClock::Instance()),
-      cache_(options_.cache_capacity) {}
+      cache_(options_.cache_capacity) {
+  WarmLoadPlanStore();
+}
+
+void QueryService::WarmLoadPlanStore() {
+  if (options_.plan_store == nullptr) return;
+  StatusOr<adaptive::StoreContents> loaded = options_.plan_store->Load();
+  if (!loaded.ok()) {
+    // kNotFound = fresh deployment; anything else = damaged store. Both are
+    // cold starts, only the latter is worth counting.
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      MutexLock lock(mu_);
+      ++plan_store_load_failures_;
+    }
+    return;
+  }
+  if (loaded->num_sources != catalog_->num_sources()) {
+    // The store was written against a different catalog; its SourceIds
+    // would dereference arbitrary sources here.
+    MutexLock lock(mu_);
+    ++plan_store_load_failures_;
+    return;
+  }
+  int64_t restored = 0;
+  // The store lists entries most-recently-used first; inserting in reverse
+  // reproduces that LRU order in the warm cache.
+  for (auto it = loaded->entries.rbegin(); it != loaded->entries.rend(); ++it) {
+    StatusOr<datalog::ConjunctiveQuery> parsed =
+        datalog::ParseRule(it->canonical_text);
+    if (!parsed.ok()) continue;
+    bool ids_valid = true;
+    for (const std::vector<int>& bucket : it->buckets) {
+      for (int id : bucket) {
+        if (id < 0 || id >= catalog_->num_sources()) ids_valid = false;
+      }
+    }
+    if (!ids_valid) continue;
+    StatusOr<stats::Workload> workload = stats::Workload::FromParts(
+        it->stat_buckets, it->region_weights, it->access_overhead,
+        it->domain_sizes);
+    if (!workload.ok()) continue;
+    auto entry = std::make_shared<CachedReformulation>();
+    entry->canonical = datalog::CanonicalizeQuery(*parsed);
+    entry->buckets.buckets = it->buckets;
+    entry->workload = *std::move(workload);
+    cache_.Insert(std::move(entry));
+    ++restored;
+  }
+  if (options_.observed_stats != nullptr) {
+    for (const auto& [name, estimate] : loaded->observed) {
+      options_.observed_stats->Restore(name, estimate);
+    }
+  }
+  MutexLock lock(mu_);
+  plan_store_entries_loaded_ += restored;
+}
+
+Status QueryService::PersistPlanStore() {
+  if (options_.plan_store == nullptr) {
+    return FailedPreconditionError("no plan store configured");
+  }
+  adaptive::StoreContents contents;
+  contents.num_sources = catalog_->num_sources();
+  for (const std::shared_ptr<const CachedReformulation>& entry :
+       cache_.Snapshot()) {
+    adaptive::StoredReformulation stored;
+    // The canonical key IS the canonical query's text form — ParseRule +
+    // CanonicalizeQuery restore the exact cache key on warm load.
+    stored.canonical_text = entry->canonical.key;
+    stored.buckets = entry->buckets.buckets;
+    const stats::Workload& w = entry->workload;
+    stored.stat_buckets.resize(size_t(w.num_buckets()));
+    stored.domain_sizes.reserve(size_t(w.num_buckets()));
+    for (int b = 0; b < w.num_buckets(); ++b) {
+      stored.stat_buckets[b].reserve(size_t(w.bucket_size(b)));
+      for (int i = 0; i < w.bucket_size(b); ++i) {
+        stored.stat_buckets[b].push_back(w.source(b, i));
+      }
+      stored.domain_sizes.push_back(w.domain_size(b));
+    }
+    stored.region_weights = w.region_weights();
+    stored.access_overhead = w.access_overhead();
+    contents.entries.push_back(std::move(stored));
+  }
+  if (options_.observed_stats != nullptr) {
+    contents.observed = options_.observed_stats->Snapshot();
+  }
+  Status saved;
+  {
+    MutexLock lock(store_mu_);
+    saved = options_.plan_store->Save(contents);
+  }
+  if (saved.ok()) {
+    MutexLock lock(mu_);
+    ++plan_store_saves_;
+  }
+  return saved;
+}
 
 Status QueryService::Admit() {
   MutexLock lock(mu_);
@@ -104,6 +202,13 @@ StatusOr<QueryService::ReformulationOutcome> QueryService::Reformulate(
     if (verified) return ReformulationOutcome{std::move(entry), true};
     // Key matched a non-equivalent query (should be impossible; counted
     // above) — fall through to the cold path rather than serve wrong plans.
+  } else if (options_.containment_reuse) {
+    // Beyond isomorphism: an equivalent-but-not-isomorphic resident entry
+    // (e.g. a query with a redundant atom) can soundly serve this query —
+    // equivalence means identical answers on every database, and the
+    // containment test that establishes it is the verification itself.
+    entry = cache_.LookupByContainment(canonical);
+    if (entry != nullptr) return ReformulationOutcome{std::move(entry), true};
   }
 
   auto fresh = std::make_shared<CachedReformulation>();
@@ -117,11 +222,49 @@ StatusOr<QueryService::ReformulationOutcome> QueryService::Reformulate(
           fresh->canonical.query, *catalog_, fresh->buckets, *source_facts_,
           options_.estimate));
   cache_.Insert(fresh);
+  if (options_.plan_store != nullptr) {
+    // Best-effort: a failed persist leaves the service fully functional
+    // (the next cold miss retries); Metrics counts successful saves.
+    (void)PersistPlanStore();
+  }
   return ReformulationOutcome{std::move(fresh), false};
+}
+
+std::vector<std::vector<std::string>> QueryService::ResolveSourceNames(
+    const std::vector<std::vector<datalog::SourceId>>& buckets) const {
+  std::vector<std::vector<std::string>> names(buckets.size());
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    names[b].reserve(buckets[b].size());
+    for (const datalog::SourceId id : buckets[b]) {
+      names[b].push_back(catalog_->source(id).name);
+    }
+  }
+  return names;
 }
 
 Status QueryService::SetUpOrdering(Session& session) {
   const stats::Workload* workload = &session.reformulation_->workload;
+  if (options_.adaptive_reorder) {
+    // The adaptive wrapper owns its per-generation models and inner orderer;
+    // the session's reformulation workload serves as the estimate baseline.
+    adaptive::AdaptiveOptions adaptive_options;
+    adaptive_options.inner =
+        options_.orderer == ServiceOptions::OrdererKind::kIDrips
+            ? adaptive::InnerOrderer::kIDrips
+            : adaptive::InnerOrderer::kStreamer;
+    adaptive_options.measure = options_.measure;
+    adaptive_options.drift = options_.drift;
+    PLANORDER_ASSIGN_OR_RETURN(
+        session.orderer_,
+        adaptive::AdaptiveOrderer::Create(
+            workload,
+            ResolveSourceNames(session.reformulation_->buckets.buckets),
+            options_.observed_stats, adaptive_options));
+    if (eval_pool_ != nullptr) {
+      session.orderer_->set_eval_pool(eval_pool_.get());
+    }
+    return OkStatus();
+  }
   PLANORDER_ASSIGN_OR_RETURN(
       session.model_, utility::MakeMeasure(options_.measure, workload));
   std::vector<core::PlanSpace> spaces = {core::PlanSpace::FullSpace(*workload)};
@@ -160,14 +303,8 @@ StatusOr<std::unique_ptr<Session>> QueryService::PrepareSession(
   if (options_.source_cache_view != nullptr) {
     // Resolve each (bucket, index) to its catalog source name once: the
     // per-step residency refresh is then pure lookups against the view.
-    const auto& buckets = session->reformulation_->buckets.buckets;
-    session->source_names_.resize(buckets.size());
-    for (size_t b = 0; b < buckets.size(); ++b) {
-      session->source_names_[b].reserve(buckets[b].size());
-      for (const datalog::SourceId id : buckets[b]) {
-        session->source_names_[b].push_back(catalog_->source(id).name);
-      }
-    }
+    session->source_names_ =
+        ResolveSourceNames(session->reformulation_->buckets.buckets);
   }
   PLANORDER_RETURN_IF_ERROR(SetUpOrdering(*session));
   if (options_.source_cache_view != nullptr) {
@@ -242,6 +379,9 @@ ServiceMetricsSnapshot QueryService::Metrics() const {
     snapshot.cache_verification_failures = cache_verification_failures_;
     snapshot.total_answers = total_answers_;
     snapshot.total_steps = total_steps_;
+    snapshot.plan_store_entries_loaded = plan_store_entries_loaded_;
+    snapshot.plan_store_load_failures = plan_store_load_failures_;
+    snapshot.plan_store_saves = plan_store_saves_;
     snapshot.runtime = runtime_total_;
   }
   snapshot.cache = cache_.stats();

@@ -3,6 +3,9 @@
 
 #include <memory>
 
+#include "adaptive/adaptive_orderer.h"
+#include "adaptive/observed_stats.h"
+#include "adaptive/plan_store.h"
 #include "base/mutex.h"
 #include "base/status.h"
 #include "base/thread_annotations.h"
@@ -71,6 +74,39 @@ struct ServiceOptions {
   /// Statistics estimation knobs for cold (uncached) reformulations.
   reformulation::EstimateOptions estimate;
 
+  /// Versioned on-disk plan/stats store (borrowed, may be null; DESIGN.md
+  /// §12). At construction the service warm-loads every persisted
+  /// reformulation into the cache — skipping bucket construction and the
+  /// full-instance statistics scan for queries seen before the restart — and
+  /// restores persisted learned statistics into `observed_stats`. A corrupt,
+  /// truncated or version-mismatched store is counted and ignored (cold
+  /// start, never a crash). Every cold reformulation re-persists the store;
+  /// PersistPlanStore() flushes on demand (e.g. at shutdown).
+  adaptive::PlanStore* plan_store = nullptr;
+
+  /// Extends reformulation-cache reuse beyond isomorphism: when the
+  /// canonical key misses, scan resident entries for a logically equivalent
+  /// query (mutual containment via datalog::AreEquivalent) and serve its
+  /// reformulation — the containment test is itself the hit verification.
+  /// Off by default: the scan costs O(residents) containment tests per cold
+  /// query.
+  bool containment_reuse = false;
+
+  /// Observed per-source statistics layer (borrowed, may be null). Wire the
+  /// same object as runtime::RuntimeOptions::trace_sink to close the loop:
+  /// execution traces fold into it, adaptive sessions re-rank from it, and
+  /// the plan store persists/restores it across restarts.
+  adaptive::ObservedStats* observed_stats = nullptr;
+
+  /// Wraps every session's orderer in an adaptive::AdaptiveOrderer over
+  /// `observed_stats`: when folded observations leave the divergence band,
+  /// the session discards its remaining plan order mid-stream and reorders
+  /// under the blended statistics.
+  bool adaptive_reorder = false;
+
+  /// Divergence-monitor policy for adaptive sessions.
+  adaptive::DriftOptions drift;
+
   /// Time source for session latency metrics (borrowed; nullptr = the
   /// process-wide RealClock). Inject a runtime::VirtualClock to make latency
   /// accounting fully deterministic — the only wall-clock read the service
@@ -133,6 +169,11 @@ class QueryService {
 
   ServiceMetricsSnapshot Metrics() const;
 
+  /// Serializes the current reformulation cache (most-recently-used first)
+  /// plus the learned statistics snapshot into the configured plan store,
+  /// atomically. kFailedPrecondition when no store is configured.
+  Status PersistPlanStore() EXCLUDES(store_mu_);
+
   /// The raw end-to-end session latency samples — shard aggregation merges
   /// these to compute exact cross-shard percentiles (percentiles of
   /// per-shard snapshots cannot be merged; raw samples can).
@@ -170,6 +211,13 @@ class QueryService {
   StatusOr<std::unique_ptr<Session>> PrepareSession(
       const datalog::ConjunctiveQuery& query);
 
+  /// Resolves each (bucket, index) of `buckets` to its catalog source name.
+  std::vector<std::vector<std::string>> ResolveSourceNames(
+      const std::vector<std::vector<datalog::SourceId>>& buckets) const;
+
+  /// Restores persisted reformulations + learned stats at construction.
+  void WarmLoadPlanStore();
+
   const datalog::Catalog* catalog_;
   const datalog::Database* source_facts_;
   const ServiceOptions options_;
@@ -196,7 +244,13 @@ class QueryService {
   int64_t cache_verification_failures_ GUARDED_BY(mu_) = 0;
   int64_t total_answers_ GUARDED_BY(mu_) = 0;
   int64_t total_steps_ GUARDED_BY(mu_) = 0;
+  int64_t plan_store_entries_loaded_ GUARDED_BY(mu_) = 0;
+  int64_t plan_store_load_failures_ GUARDED_BY(mu_) = 0;
+  int64_t plan_store_saves_ GUARDED_BY(mu_) = 0;
   exec::RuntimeAccounting runtime_total_ GUARDED_BY(mu_);
+  /// Serializes whole-store rewrites (Save is atomic per call; this orders
+  /// concurrent cold-miss persists).
+  Mutex store_mu_;
 };
 
 }  // namespace planorder::service

@@ -218,6 +218,15 @@ Status RunScenario(const Scenario& scenario, const SimOptions& options,
     ++local.checks;
   }
 
+  if (scenario.check_drift) {
+    Status status = CheckDriftRerank(scenario, options.tolerance);
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "check=drift: " + std::string(status.message()));
+    }
+    ++local.checks;
+  }
+
   if (report != nullptr) report->Merge(local);
   return OkStatus();
 }

@@ -46,6 +46,8 @@ struct Flags {
                             // or "only" (ranked check alone)
   std::string multi;        // "", "force" (multi-session check on
                             // everywhere), or "only" (that check alone)
+  std::string drift;        // "", "force" (adaptive re-ranking check on
+                            // everywhere), or "only" (that check alone)
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -95,6 +97,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
         return false;
       }
       flags->multi = value;
+    } else if (ParseFlag(arg, "drift", &value)) {
+      if (value != "force" && value != "only") {
+        std::cerr << "--drift wants 'force' or 'only', got '" << value
+                  << "'\n";
+        return false;
+      }
+      flags->drift = value;
     } else if (arg == "--no-shrink") {
       flags->shrink = false;
     } else if (arg == "--verbose") {
@@ -122,6 +131,8 @@ void Usage() {
          "                      check off (the CI ranked slice)\n"
          "  --multi=force|only  likewise for the multi-session cluster\n"
          "                      check (the CI cluster slice)\n"
+         "  --drift=force|only  likewise for the adaptive re-ranking\n"
+         "                      check (the CI drift slice)\n"
          "  --replay=SEED:STEP  replay one sweep step\n"
          "  --replay-file=PATH  run a serialized (e.g. shrunk) scenario\n"
          "  --corpus=PATH       run every SEED:STEP line of a corpus file\n"
@@ -177,6 +188,7 @@ int Main(int argc, char** argv) {
         scenario.measures.clear();
         scenario.check_runtime = false;
         scenario.check_multi = false;
+        scenario.check_drift = false;
       }
     }
     if (!flags.multi.empty()) {
@@ -185,6 +197,16 @@ int Main(int argc, char** argv) {
         scenario.measures.clear();
         scenario.check_runtime = false;
         scenario.check_ranked = false;
+        scenario.check_drift = false;
+      }
+    }
+    if (!flags.drift.empty()) {
+      scenario.check_drift = true;
+      if (flags.drift == "only") {
+        scenario.measures.clear();
+        scenario.check_runtime = false;
+        scenario.check_ranked = false;
+        scenario.check_multi = false;
       }
     }
     return scenario;

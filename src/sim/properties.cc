@@ -3,15 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "adaptive/adaptive_orderer.h"
+#include "adaptive/drift_monitor.h"
+#include "adaptive/observed_stats.h"
 #include "anyk/brute_force.h"
 #include "anyk/ranked_stream.h"
 #include "base/rng.h"
+#include "core/idrips.h"
 #include "cluster/sharded_service.h"
 #include "cluster/source_cache.h"
 #include "core/pi.h"
@@ -868,6 +873,290 @@ Status CheckMultiSession(const Scenario& scenario, double tolerance) {
           run.steps[k], history[k], tolerance,
           "multi-parallel session " + std::to_string(s) + " step " +
               std::to_string(k)));
+    }
+  }
+  return OkStatus();
+}
+
+namespace {
+
+/// The drift world: which (bucket, index) coordinates drift, and by how
+/// much. Derived once from drift_seed so the adaptive run, every parallel
+/// re-run and the oracle feed identical observation streams.
+struct DriftWorld {
+  std::vector<std::vector<std::string>> names;
+  std::vector<std::vector<char>> drifted;
+  utility::MeasureKind kind = utility::MeasureKind::kAdditive;
+};
+
+DriftWorld MakeDriftWorld(const Scenario& scenario,
+                          const stats::Workload& workload) {
+  DriftWorld world;
+  world.names.resize(size_t(workload.num_buckets()));
+  world.drifted.resize(size_t(workload.num_buckets()));
+  for (int b = 0; b < workload.num_buckets(); ++b) {
+    for (int i = 0; i < workload.bucket_size(b); ++i) {
+      world.names[size_t(b)].push_back("b" + std::to_string(b) + "_s" +
+                                       std::to_string(i));
+    }
+    world.drifted[size_t(b)].assign(size_t(workload.bucket_size(b)), 0);
+  }
+  Rng rng(scenario.drift_seed);
+  // Cardinality-sensitive measures only: drifting cardinality under pure
+  // coverage would never change the ranking, making the property vacuous.
+  const utility::MeasureKind kinds[] = {
+      utility::MeasureKind::kAdditive, utility::MeasureKind::kCost2,
+      utility::MeasureKind::kFailureNoCache, utility::MeasureKind::kMonetary};
+  world.kind = kinds[rng.UniformInt(0, 3)];
+  for (int k = 0; k < scenario.drift_sources; ++k) {
+    const int b = int(rng.UniformInt(0, workload.num_buckets() - 1));
+    const int i = int(rng.UniformInt(0, workload.bucket_size(b) - 1));
+    world.drifted[size_t(b)][size_t(i)] = 1;
+  }
+  return world;
+}
+
+/// One synthetic execution of `plan` at emission index `step`: each of its
+/// sources completes one call shipping its *true* (possibly drifted)
+/// cardinality. Integer-rounded once here; every consumer sees the same
+/// observation stream.
+void FeedDriftObservations(const Scenario& scenario,
+                           const stats::Workload& workload,
+                           const DriftWorld& world, int step,
+                           const core::ConcretePlan& plan,
+                           adaptive::ObservedStats& observed) {
+  for (size_t b = 0; b < plan.size(); ++b) {
+    const int i = plan[b];
+    const stats::SourceStats s = workload.source(int(b), i);
+    double card = s.cardinality;
+    if (step >= scenario.drift_step && world.drifted[b][size_t(i)]) {
+      card *= scenario.drift_factor;
+    }
+    runtime::SourceObservation obs;
+    obs.rows = std::max<int64_t>(0, std::llround(card));
+    obs.attempts = 1;
+    obs.failures = 0;
+    obs.latency_micros =
+        std::max<int64_t>(0, std::llround(s.transmission_cost * card * 1000.0));
+    obs.call_failed = false;
+    observed.RecordFetch(world.names[b][size_t(i)], obs);
+  }
+  observed.FoldWindow();
+}
+
+adaptive::DriftOptions MakeDriftOptions(const Scenario& scenario,
+                                        bool react) {
+  adaptive::DriftOptions drift;
+  drift.band = scenario.drift_band;
+  drift.min_calls = 1;
+  drift.react_to_observations = react;
+  return drift;
+}
+
+/// Drains the adaptive orderer under the drift feedback loop: after every
+/// emission the emitted plan's observations are recorded and folded, so the
+/// next Next() sees the updated generation.
+StatusOr<std::vector<core::OrderedPlan>> RunAdaptiveDrift(
+    const Scenario& scenario, const stats::Workload& workload,
+    const DriftWorld& world, runtime::ThreadPool* pool,
+    int64_t* rebuilds_out) {
+  adaptive::ObservedStats observed(
+      adaptive::ObservedStatsOptions{scenario.drift_decay});
+  adaptive::AdaptiveOptions options;
+  options.inner = adaptive::InnerOrderer::kIDrips;
+  options.measure = world.kind;
+  options.drift = MakeDriftOptions(scenario, !scenario.drift_inject_stale);
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<adaptive::AdaptiveOrderer> orderer,
+      adaptive::AdaptiveOrderer::Create(&workload, world.names, &observed,
+                                        options));
+  orderer->set_eval_pool(pool);
+  std::vector<core::OrderedPlan> emissions;
+  while (true) {
+    StatusOr<core::OrderedPlan> next = orderer->Next();
+    if (!next.ok()) {
+      if (next.status().code() == StatusCode::kNotFound) break;
+      return next.status();
+    }
+    FeedDriftObservations(scenario, workload, world, int(emissions.size()),
+                          next->plan, observed);
+    emissions.push_back(std::move(*next));
+  }
+  if (rebuilds_out != nullptr) *rebuilds_out = orderer->rebuilds();
+  return emissions;
+}
+
+}  // namespace
+
+Status CheckDriftRerank(const Scenario& scenario, double tolerance) {
+  PLANORDER_ASSIGN_OR_RETURN(
+      stats::Workload workload,
+      stats::Workload::Generate(scenario.MakeWorkloadOptions()));
+  // The oracle re-ranks with a fresh O(plans^2)-ish IDrips build per
+  // divergence and brute-forces maximality per step; keep the space small.
+  if (scenario.NumPlans() > 80) return OkStatus();
+  const DriftWorld world = MakeDriftWorld(scenario, workload);
+
+  // The system under test: the adaptive orderer inside its feedback loop.
+  int64_t adaptive_rebuilds = 0;
+  PLANORDER_ASSIGN_OR_RETURN(
+      std::vector<core::OrderedPlan> emissions,
+      RunAdaptiveDrift(scenario, workload, world, /*pool=*/nullptr,
+                       &adaptive_rebuilds));
+
+  // (a)+(b) The rebuild-from-observed-stats oracle: replay the same
+  // observation schedule against ITS OWN emissions, re-deciding divergence
+  // with the pure predicate and re-ranking from scratch (fresh inner
+  // orderer, executed prefix preloaded, emitted plans skipped) every time
+  // the statistics leave the band. The oracle always reacts — under the
+  // injected stale-stats bug it diverges from the system and the property
+  // fails, which is the point.
+  adaptive::ObservedStats observed(
+      adaptive::ObservedStatsOptions{scenario.drift_decay});
+  const adaptive::DriftOptions drift =
+      MakeDriftOptions(scenario, /*react=*/true);
+  std::vector<core::ConcretePlan> executed;
+  std::set<core::ConcretePlan> emitted;
+  std::unique_ptr<stats::Workload> blended;
+  std::unique_ptr<utility::UtilityModel> model;
+  std::unique_ptr<core::Orderer> inner;
+  int64_t built_generation = -1;
+  int64_t oracle_rebuilds = -1;  // first build is not a re-rank
+
+  auto rebuild = [&]() -> Status {
+    PLANORDER_ASSIGN_OR_RETURN(
+        stats::Workload b,
+        adaptive::BlendWorkload(workload, world.names, observed));
+    blended = std::make_unique<stats::Workload>(std::move(b));
+    PLANORDER_ASSIGN_OR_RETURN(model,
+                               utility::MakeMeasure(world.kind, blended.get()));
+    std::vector<core::PlanSpace> spaces;
+    spaces.push_back(core::PlanSpace::FullSpace(*blended));
+    PLANORDER_ASSIGN_OR_RETURN(
+        std::unique_ptr<core::IDripsOrderer> built,
+        core::IDripsOrderer::Create(blended.get(), model.get(),
+                                    std::move(spaces), core::IDripsOptions{}));
+    inner = std::move(built);
+    for (const core::ConcretePlan& plan : executed) {
+      PLANORDER_RETURN_IF_ERROR(inner->PreloadExecuted(plan));
+    }
+    built_generation = observed.generation();
+    ++oracle_rebuilds;
+    return OkStatus();
+  };
+  PLANORDER_RETURN_IF_ERROR(rebuild());
+
+  std::vector<core::OrderedPlan> oracle_emissions;
+  while (true) {
+    if (observed.generation() != built_generation &&
+        adaptive::StatsDiverged(*blended, world.names, observed, drift)) {
+      PLANORDER_RETURN_IF_ERROR(rebuild());
+    }
+    StatusOr<core::OrderedPlan> next = inner->Next();
+    if (!next.ok()) {
+      if (next.status().code() == StatusCode::kNotFound) break;
+      return next.status();
+    }
+    if (!emitted.insert(next->plan).second) {
+      inner->ReportDiscarded();  // replayed pre-rebuild emission
+      continue;
+    }
+
+    // (b) Conditional maximality under this generation's blended stats:
+    // fresh context, executed prefix only.
+    utility::ExecutionContext fresh(blended.get());
+    for (const core::ConcretePlan& plan : executed) fresh.MarkExecuted(plan);
+    const double recomputed = model->EvaluateConcrete(next->plan, fresh);
+    if (std::abs(recomputed - next->utility) >
+        tolerance * std::max(1.0, std::abs(recomputed))) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "drift-oracle step " << oracle_emissions.size() << " plan "
+          << PlanToString(next->plan) << " reported utility "
+          << next->utility << " but a fresh conditional evaluation gives "
+          << recomputed;
+      return InternalError(out.str());
+    }
+    for (const core::ConcretePlan& other :
+         core::EnumeratePlans(core::PlanSpace::FullSpace(*blended))) {
+      if (emitted.count(other) != 0) continue;
+      const double u = model->EvaluateConcrete(other, fresh);
+      if (u - recomputed > tolerance * std::max(1.0, std::abs(u))) {
+        std::ostringstream out;
+        out.precision(17);
+        out << "drift-oracle step " << oracle_emissions.size()
+            << " emitted plan " << PlanToString(next->plan) << " at utility "
+            << recomputed << " but remaining plan " << PlanToString(other)
+            << " is strictly better at " << u
+            << " under the blended statistics";
+        return InternalError(out.str());
+      }
+    }
+
+    FeedDriftObservations(scenario, workload, world,
+                          int(oracle_emissions.size()), next->plan, observed);
+    executed.push_back(next->plan);
+    oracle_emissions.push_back(std::move(*next));
+  }
+
+  // (a) Byte-for-byte agreement, emission by emission.
+  const size_t steps = std::min(emissions.size(), oracle_emissions.size());
+  for (size_t i = 0; i < steps; ++i) {
+    if (emissions[i].plan != oracle_emissions[i].plan ||
+        emissions[i].utility != oracle_emissions[i].utility) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "drift step " << i << ": adaptive orderer emitted "
+          << PlanToString(emissions[i].plan) << " u=" << emissions[i].utility
+          << " but the rebuild-from-observed-stats oracle emitted "
+          << PlanToString(oracle_emissions[i].plan)
+          << " u=" << oracle_emissions[i].utility
+          << " (stale statistics survived the divergence band?)";
+      return InternalError(out.str());
+    }
+  }
+  if (emissions.size() != oracle_emissions.size()) {
+    std::ostringstream out;
+    out << "drift: adaptive orderer emitted " << emissions.size()
+        << " plans, the oracle " << oracle_emissions.size();
+    return InternalError(out.str());
+  }
+  if (adaptive_rebuilds != oracle_rebuilds) {
+    std::ostringstream out;
+    out << "drift: adaptive orderer re-ranked " << adaptive_rebuilds
+        << " times, the oracle " << oracle_rebuilds
+        << " — divergence decisions disagree";
+    return InternalError(out.str());
+  }
+
+  // (c) Serial == parallel at every scenario thread count.
+  for (int threads : scenario.thread_counts) {
+    if (threads < 2) continue;
+    runtime::ThreadPool pool(threads);
+    int64_t pooled_rebuilds = 0;
+    PLANORDER_ASSIGN_OR_RETURN(
+        std::vector<core::OrderedPlan> pooled,
+        RunAdaptiveDrift(scenario, workload, world, &pool, &pooled_rebuilds));
+    if (pooled.size() != emissions.size() ||
+        pooled_rebuilds != adaptive_rebuilds) {
+      std::ostringstream out;
+      out << "drift: " << threads << "-thread run emitted " << pooled.size()
+          << " plans / " << pooled_rebuilds << " rebuilds vs serial "
+          << emissions.size() << " / " << adaptive_rebuilds;
+      return InternalError(out.str());
+    }
+    for (size_t i = 0; i < pooled.size(); ++i) {
+      if (pooled[i].plan != emissions[i].plan ||
+          pooled[i].utility != emissions[i].utility) {
+        std::ostringstream out;
+        out.precision(17);
+        out << "drift step " << i << ": " << threads
+            << "-thread run emitted " << PlanToString(pooled[i].plan)
+            << " u=" << pooled[i].utility << " but the serial run emitted "
+            << PlanToString(emissions[i].plan)
+            << " u=" << emissions[i].utility;
+        return InternalError(out.str());
+      }
     }
   }
   return OkStatus();

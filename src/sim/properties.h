@@ -139,6 +139,33 @@ Status CheckRankedEmission(const Scenario& scenario,
 ///      (a) must fail (the sim self-test asserts it does).
 Status CheckMultiSession(const Scenario& scenario, double tolerance);
 
+/// Adaptive re-ranking property (DESIGN.md §12). Drifts the true
+/// cardinality of `scenario.drift_sources` sources by `drift_factor` from
+/// emission `drift_step` on, feeds one synthetic execution observation per
+/// emitted plan step into an adaptive::ObservedStats (folding a window after
+/// every step), and drains an adaptive::AdaptiveOrderer under that feedback
+/// loop. Checks:
+///  (a) oracle — the adaptive emission sequence (plans AND utilities,
+///      bit-for-bit) equals an independent rebuild-from-observed-stats
+///      replay: an oracle that re-runs StatsDiverged/BlendWorkload itself
+///      and, on each divergence, constructs a *fresh* inner orderer over the
+///      blended statistics, preloads the executed prefix and skips
+///      already-emitted plans — the mid-stream discard-and-reorder contract
+///      stated from first principles; the rebuild counts must agree too;
+///  (b) conditional maximality — every oracle emission's utility matches a
+///      brute-force fresh evaluation conditioned on exactly the executed
+///      prefix, and no not-yet-emitted plan beats it (within `tolerance`)
+///      under the generation's blended statistics;
+///  (c) determinism — re-running the adaptive loop with a shared evaluation
+///      pool at every scenario thread count reproduces the serial emissions
+///      byte-identically.
+/// With `scenario.drift_inject_stale` the orderer's divergence reaction is
+/// disabled (the planted stale-statistics bug) while the oracle still
+/// reacts, so check (a) must fail once the drift actually flips the ranking
+/// — the sim self-test asserts it does. Spaces above 80 plans are skipped
+/// (the oracle re-ranks O(rebuilds * plans^2)).
+Status CheckDriftRerank(const Scenario& scenario, double tolerance);
+
 }  // namespace planorder::sim
 
 #endif  // PLANORDER_SIM_PROPERTIES_H_

@@ -118,7 +118,8 @@ std::string Scenario::Summary() const {
       << " probes=" << (probe_lower_bounds ? 1 : 0)
       << " runtime=" << (check_runtime ? 1 : 0)
       << " ranked=" << (check_ranked ? 1 : 0)
-      << " multi=" << (check_multi ? 1 : 0);
+      << " multi=" << (check_multi ? 1 : 0)
+      << " drift=" << (check_drift ? 1 : 0);
   return out.str();
 }
 
@@ -160,6 +161,11 @@ std::string Scenario::Serialize() const {
       << " transient_failure_rate=" << transient_failure_rate
       << " hedge_delay_ms=" << hedge_delay_ms
       << " retry_max_attempts=" << retry_max_attempts;
+  out << " check_drift=" << (check_drift ? 1 : 0)
+      << " drift_step=" << drift_step << " drift_factor=" << drift_factor
+      << " drift_band=" << drift_band << " drift_decay=" << drift_decay
+      << " drift_sources=" << drift_sources << " drift_seed=" << drift_seed
+      << " drift_inject_stale=" << (drift_inject_stale ? 1 : 0);
   return out.str();
 }
 
@@ -263,6 +269,22 @@ StatusOr<Scenario> Scenario::Deserialize(const std::string& line) {
         s.hedge_delay_ms = std::stod(value);
       } else if (key == "retry_max_attempts") {
         s.retry_max_attempts = std::stoi(value);
+      } else if (key == "check_drift") {
+        s.check_drift = value != "0";
+      } else if (key == "drift_step") {
+        s.drift_step = std::stoi(value);
+      } else if (key == "drift_factor") {
+        s.drift_factor = std::stod(value);
+      } else if (key == "drift_band") {
+        s.drift_band = std::stod(value);
+      } else if (key == "drift_decay") {
+        s.drift_decay = std::stod(value);
+      } else if (key == "drift_sources") {
+        s.drift_sources = std::stoi(value);
+      } else if (key == "drift_seed") {
+        s.drift_seed = std::stoull(value);
+      } else if (key == "drift_inject_stale") {
+        s.drift_inject_stale = value != "0";
       } else {
         return InvalidArgumentError("unknown scenario key '" + key + "'");
       }
@@ -324,6 +346,16 @@ Scenario MakeScenario(uint64_t base_seed, int step) {
   s.weights_seed = rng.engine()();
   s.ranked_aggregation = rng.Bernoulli(0.5) ? anyk::Aggregation::kSum
                                             : anyk::Aggregation::kMax;
+
+  // Drift knobs last: earlier scenarios' derivations stay stable under the
+  // same (base_seed, step) across sim versions that predate check_drift.
+  s.check_drift = rng.Bernoulli(0.35);
+  s.drift_step = int(rng.UniformInt(1, 5));
+  s.drift_factor = rng.UniformReal(0.25, 5.0);
+  s.drift_band = rng.UniformReal(1.2, 3.0);
+  s.drift_decay = rng.UniformReal(0.3, 1.0);
+  s.drift_sources = int(rng.UniformInt(1, 3));
+  s.drift_seed = rng.engine()();
   return s;
 }
 

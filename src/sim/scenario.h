@@ -89,6 +89,33 @@ struct Scenario {
   /// test; never set by MakeScenario.
   bool multi_inject_stale = false;
 
+  /// Adaptive re-ranking property (DESIGN.md §12): drift the true source
+  /// statistics mid-stream, feed execution observations into an
+  /// adaptive::AdaptiveOrderer after every emission, and demand its whole
+  /// emission sequence match an independent rebuild-from-observed-stats
+  /// oracle byte-for-byte — plus per-step conditional-maximality and
+  /// serial == parallel at every thread count.
+  bool check_drift = false;
+
+  // --- Drift knobs (check_drift) ---
+  /// Emission index at which the true statistics jump.
+  int drift_step = 2;
+  /// Multiplier applied to the drifted sources' true cardinality.
+  double drift_factor = 3.0;
+  /// Divergence band of the adaptive orderer (adaptive::DriftOptions::band).
+  double drift_band = 2.0;
+  /// EWMA decay of the observation folds (ObservedStatsOptions::decay).
+  double drift_decay = 0.5;
+  /// How many sources drift.
+  int drift_sources = 1;
+  /// Seeds the drifted-source choice and the measure pick.
+  uint64_t drift_seed = 1;
+  /// Fault injection: clear DriftOptions::react_to_observations — the
+  /// orderer keeps serving its stale initial ranking, the planted bug the
+  /// property must catch. Used by the sim self test; never set by
+  /// MakeScenario.
+  bool drift_inject_stale = false;
+
   // --- Ranked-enumeration knobs (check_ranked) ---
   uint64_t weights_seed = 1;
   anyk::Aggregation ranked_aggregation = anyk::Aggregation::kSum;

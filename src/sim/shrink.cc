@@ -54,6 +54,9 @@ class Shrinker {
       return s.check_multi;
     });
     changed |= DisableFlag([](Scenario& s) -> bool& {
+      return s.check_drift;
+    });
+    changed |= DisableFlag([](Scenario& s) -> bool& {
       return s.check_monotone;
     });
     changed |= DisableFlag([](Scenario& s) -> bool& {
@@ -74,6 +77,14 @@ class Shrinker {
           [](Scenario& s) -> int& { return s.num_sessions; }, 2);
       changed |= ShrinkInt(
           [](Scenario& s) -> int& { return s.num_shards; }, 1);
+    }
+    if (result_->scenario.check_drift) {
+      // drift_inject_stale is deliberately left alone: the planted bug is
+      // part of the reproducer, not noise to minimize away.
+      changed |= ShrinkInt(
+          [](Scenario& s) -> int& { return s.drift_sources; }, 1);
+      changed |= ShrinkInt(
+          [](Scenario& s) -> int& { return s.drift_step; }, 1);
     }
     return changed;
   }

@@ -6,9 +6,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "adaptive/plan_store.h"
 
 #include "cluster/source_cache.h"
 #include "datalog/unify.h"
@@ -276,6 +279,51 @@ TEST(ShardedServiceTest, DisabledRefreshReproducesStaleUtilities) {
   ASSERT_EQ(fresh.size(), stale.size());
   EXPECT_NE(fresh, stale)
       << "refresh on/off made no difference; the stale hook is dead";
+}
+
+TEST(ShardedServiceTest, PerShardPlanStoresPersistAndWarmLoad) {
+  Domain domain = MakeDomain();
+  const exec::SyntheticDomain& d = *domain.synthetic;
+  const std::string dir = "cluster_service_test_stores";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directory(dir);
+  exec::Mediator::RunLimits limits;
+  limits.max_plans = 2;
+
+  ClusterOptions options;
+  options.num_shards = 2;
+  options.plan_store_dir = dir;
+  {
+    ShardedService service(&d.catalog, &d.source_facts, options);
+    ASSERT_TRUE(service.RunQuery(d.query, limits).ok());
+    ASSERT_TRUE(service.PersistAll().ok());
+    // Deterministic routing puts the entry in the home shard's file.
+    adaptive::PlanStore home(
+        dir + "/shard_" + std::to_string(service.ShardFor(d.query)) +
+        ".planstore");
+    auto contents = home.Load();
+    ASSERT_TRUE(contents.ok()) << contents.status();
+    EXPECT_EQ(contents->entries.size(), 1u);
+  }
+
+  // Cluster restart over the same directory: the home shard warm-loads the
+  // reformulation and serves the query as a cache hit.
+  ShardedService warm(&d.catalog, &d.source_facts, options);
+  EXPECT_GE(warm.MergedMetrics().plan_store_entries_loaded, 1);
+  EXPECT_EQ(warm.MergedMetrics().plan_store_load_failures, 0);
+  ASSERT_TRUE(warm.RunQuery(d.query, limits).ok());
+  EXPECT_EQ(warm.MergedMetrics().cache.hits, 1);
+  EXPECT_EQ(warm.MergedMetrics().cache.misses, 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedServiceTest, PersistAllWithoutStoresIsAPreconditionError) {
+  Domain domain = MakeDomain();
+  const exec::SyntheticDomain& d = *domain.synthetic;
+  ClusterOptions options;
+  options.num_shards = 2;
+  ShardedService service(&d.catalog, &d.source_facts, options);
+  EXPECT_EQ(service.PersistAll().code(), StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

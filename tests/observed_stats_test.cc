@@ -1,0 +1,236 @@
+#include "adaptive/observed_stats.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/workload.h"
+
+namespace planorder::adaptive {
+namespace {
+
+runtime::SourceObservation Obs(int64_t rows, int64_t attempts,
+                               int64_t failures, int64_t latency_micros,
+                               bool call_failed = false) {
+  runtime::SourceObservation obs;
+  obs.rows = rows;
+  obs.attempts = attempts;
+  obs.failures = failures;
+  obs.latency_micros = latency_micros;
+  obs.call_failed = call_failed;
+  return obs;
+}
+
+void ExpectSameEstimate(const SourceEstimate& a, const SourceEstimate& b) {
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_EQ(a.card_windows, b.card_windows);
+  EXPECT_EQ(a.calls, b.calls);
+  // Bit-exact: the determinism contract, not a tolerance comparison.
+  EXPECT_EQ(a.cardinality, b.cardinality);
+  EXPECT_EQ(a.latency_ms, b.latency_ms);
+  EXPECT_EQ(a.failure_prob, b.failure_prob);
+}
+
+TEST(ObservedStatsTest, FirstWindowIsTakenVerbatim) {
+  ObservedStats stats(ObservedStatsOptions{/*decay=*/0.25});
+  stats.RecordFetch("s", Obs(10, 2, 1, 4000));
+  stats.RecordFetch("s", Obs(20, 1, 0, 2000));
+  EXPECT_EQ(stats.FoldWindow(), 1);
+
+  const SourceEstimate e = stats.EstimateFor("s");
+  EXPECT_EQ(e.windows, 1);
+  EXPECT_EQ(e.card_windows, 1);
+  EXPECT_EQ(e.calls, 2);
+  EXPECT_EQ(e.cardinality, 15.0);       // (10 + 20) / 2 ok calls
+  EXPECT_EQ(e.latency_ms, 3.0);         // 6000 us / 2 calls
+  EXPECT_EQ(e.failure_prob, 1.0 / 3.0); // 1 failure / 3 attempts
+}
+
+TEST(ObservedStatsTest, SecondWindowAppliesExponentialDecay) {
+  const double decay = 0.25;
+  ObservedStats stats(ObservedStatsOptions{decay});
+  stats.RecordFetch("s", Obs(8, 1, 0, 1000));
+  stats.FoldWindow();
+  stats.RecordFetch("s", Obs(16, 1, 0, 3000));
+  stats.FoldWindow();
+
+  const SourceEstimate e = stats.EstimateFor("s");
+  EXPECT_EQ(e.windows, 2);
+  EXPECT_EQ(e.cardinality, decay * 16.0 + (1.0 - decay) * 8.0);
+  EXPECT_EQ(e.latency_ms, decay * 3.0 + (1.0 - decay) * 1.0);
+}
+
+TEST(ObservedStatsTest, IngestionOrderWithinAWindowIsIrrelevant) {
+  const std::vector<runtime::SourceObservation> observations = {
+      Obs(3, 1, 0, 500), Obs(1000, 4, 3, 90000), Obs(0, 2, 2, 1234, true),
+      Obs(42, 1, 0, 7)};
+
+  ObservedStats forward;
+  for (const auto& obs : observations) forward.RecordFetch("s", obs);
+  forward.FoldWindow();
+
+  ObservedStats backward;
+  for (auto it = observations.rbegin(); it != observations.rend(); ++it) {
+    backward.RecordFetch("s", *it);
+  }
+  backward.FoldWindow();
+
+  ExpectSameEstimate(forward.EstimateFor("s"), backward.EstimateFor("s"));
+}
+
+TEST(ObservedStatsTest, ThreadedIngestionIsBitExact) {
+  // 240 observations across 3 sources, ingested serially and by 2 and 8
+  // threads: the folded estimates must agree bit for bit — RecordFetch is
+  // integer-only, and integer addition commutes exactly.
+  const int kObservations = 240;
+  auto observation = [](int i) {
+    return Obs(/*rows=*/i * 7 % 101, /*attempts=*/1 + i % 3,
+               /*failures=*/i % 2, /*latency_micros=*/i * 13 % 9999,
+               /*call_failed=*/i % 5 == 0);
+  };
+  auto source = [](int i) { return "s" + std::to_string(i % 3); };
+
+  ObservedStats serial;
+  for (int i = 0; i < kObservations; ++i) {
+    serial.RecordFetch(source(i), observation(i));
+  }
+  serial.FoldWindow();
+
+  for (int threads : {2, 8}) {
+    ObservedStats parallel;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t]() {
+        for (int i = t; i < kObservations; i += threads) {
+          parallel.RecordFetch(source(i), observation(i));
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    parallel.FoldWindow();
+    for (int s = 0; s < 3; ++s) {
+      ExpectSameEstimate(serial.EstimateFor("s" + std::to_string(s)),
+                         parallel.EstimateFor("s" + std::to_string(s)));
+    }
+  }
+}
+
+TEST(ObservedStatsTest, FailedCallsNeverUpdateCardinality) {
+  ObservedStats stats;
+  stats.RecordFetch("s", Obs(0, 3, 3, 5000, /*call_failed=*/true));
+  stats.FoldWindow();
+
+  const SourceEstimate e = stats.EstimateFor("s");
+  EXPECT_EQ(e.windows, 1);
+  EXPECT_EQ(e.card_windows, 0);  // zero rows said nothing about cardinality
+  EXPECT_EQ(e.cardinality, 0.0);
+  EXPECT_EQ(e.failure_prob, 1.0);
+}
+
+TEST(ObservedStatsTest, EmptyFoldDoesNotAdvanceTheGeneration) {
+  ObservedStats stats;
+  EXPECT_EQ(stats.FoldWindow(), 0);
+  EXPECT_EQ(stats.generation(), 0);
+  stats.RecordFetch("s", Obs(1, 1, 0, 0));
+  stats.FoldWindow();
+  EXPECT_EQ(stats.generation(), 1);
+}
+
+TEST(ObservedStatsTest, RestoreRoundTripsTheSnapshot) {
+  ObservedStats stats(ObservedStatsOptions{0.7});
+  stats.RecordFetch("a", Obs(5, 2, 1, 1500));
+  stats.RecordFetch("b", Obs(0, 1, 1, 20, true));
+  stats.FoldWindow();
+  stats.RecordFetch("a", Obs(9, 1, 0, 400));
+  stats.FoldWindow();
+
+  ObservedStats restored;
+  for (const auto& [name, estimate] : stats.Snapshot()) {
+    restored.Restore(name, estimate);
+  }
+  EXPECT_GT(restored.generation(), 0);
+  for (const char* name : {"a", "b"}) {
+    ExpectSameEstimate(stats.EstimateFor(name), restored.EstimateFor(name));
+  }
+}
+
+TEST(BlendWorkloadTest, ZeroObservationsYieldsBitIdenticalCopy) {
+  stats::WorkloadOptions options;
+  options.query_length = 3;
+  options.bucket_size = 4;
+  options.seed = 11;
+  auto workload = stats::Workload::Generate(options);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  ObservedStats observed;  // nothing ever recorded
+  std::vector<std::vector<std::string>> names(3,
+                                              std::vector<std::string>(4));
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < 4; ++i) {
+      names[b][i] = "b" + std::to_string(b) + "_s" + std::to_string(i);
+    }
+  }
+  auto blended = BlendWorkload(*workload, names, observed);
+  ASSERT_TRUE(blended.ok()) << blended.status();
+
+  for (int b = 0; b < workload->num_buckets(); ++b) {
+    EXPECT_EQ(blended->domain_size(b), workload->domain_size(b));
+    for (int i = 0; i < workload->bucket_size(b); ++i) {
+      const stats::SourceStats& want = workload->source(b, i);
+      const stats::SourceStats& got = blended->source(b, i);
+      EXPECT_EQ(got.cardinality, want.cardinality);
+      EXPECT_EQ(got.transmission_cost, want.transmission_cost);
+      EXPECT_EQ(got.failure_prob, want.failure_prob);
+      EXPECT_EQ(got.fee, want.fee);
+      EXPECT_EQ(got.regions.bits, want.regions.bits);
+    }
+  }
+  EXPECT_EQ(blended->access_overhead(), workload->access_overhead());
+  EXPECT_EQ(blended->region_weights(), workload->region_weights());
+}
+
+TEST(BlendWorkloadTest, ObservedSourcesAreOverlaid) {
+  stats::WorkloadOptions options;
+  options.query_length = 1;
+  options.bucket_size = 2;
+  options.seed = 3;
+  auto workload = stats::Workload::Generate(options);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  ObservedStats observed;
+  // Source 0: one successful call, 50 rows over 10 ms.
+  observed.RecordFetch("s0", Obs(50, 1, 0, 10000));
+  // Source 1: failures only — failure_prob overlays, cardinality stays.
+  observed.RecordFetch("s1", Obs(0, 4, 4, 100, true));
+  observed.FoldWindow();
+
+  auto blended = BlendWorkload(*workload, {{"s0", "s1"}}, observed);
+  ASSERT_TRUE(blended.ok()) << blended.status();
+
+  EXPECT_EQ(blended->source(0, 0).cardinality, 50.0);
+  EXPECT_EQ(blended->source(0, 0).transmission_cost, 10.0 / 50.0);
+  EXPECT_EQ(blended->source(0, 0).failure_prob, 0.0);
+
+  EXPECT_EQ(blended->source(0, 1).cardinality,
+            workload->source(0, 1).cardinality);
+  EXPECT_EQ(blended->source(0, 1).transmission_cost,
+            workload->source(0, 1).transmission_cost);
+  // 4 failures / 4 attempts, clamped below 1.0 for the failure measures.
+  EXPECT_EQ(blended->source(0, 1).failure_prob, 0.95);
+}
+
+TEST(BlendWorkloadTest, RejectsMismatchedNameGrid) {
+  stats::WorkloadOptions options;
+  options.query_length = 2;
+  options.bucket_size = 2;
+  auto workload = stats::Workload::Generate(options);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  ObservedStats observed;
+  EXPECT_FALSE(BlendWorkload(*workload, {{"a", "b"}}, observed).ok());
+  EXPECT_FALSE(BlendWorkload(*workload, {{"a"}, {"b", "c"}}, observed).ok());
+}
+
+}  // namespace
+}  // namespace planorder::adaptive

@@ -236,5 +236,55 @@ TEST(SimMultiSessionTest, InjectedStaleUtilityBugIsCaughtAndShrinks) {
   EXPECT_GE(minimized.rounds, 1);
 }
 
+/// A pinned scenario with only the adaptive re-ranking check on. Seed 31
+/// step 0 draws 27 plans with a cardinality-sensitive measure and a drift
+/// schedule that actually crosses the divergence band — the property has
+/// teeth here (the stale variant below fails at this exact scenario).
+Scenario DriftScenario() {
+  Scenario scenario = MakeScenario(31, 0);
+  scenario.measures.clear();  // the drift check alone
+  scenario.check_oracle = false;
+  scenario.check_monotone = false;
+  scenario.check_relabel = false;
+  scenario.check_runtime = false;
+  scenario.check_ranked = false;
+  scenario.check_multi = false;
+  scenario.check_drift = true;
+  scenario.drift_inject_stale = false;
+  return scenario;
+}
+
+TEST(SimDriftTest, PropertyHoldsOnCorrectCode) {
+  SimReport report;
+  const Scenario scenario = DriftScenario();
+  Status status = RunScenario(scenario, SimOptions{}, &report);
+  EXPECT_TRUE(status.ok()) << scenario.Summary() << ": " << status;
+  EXPECT_GT(report.checks, 0);
+}
+
+TEST(SimDriftTest, InjectedStaleStatsBugIsCaughtAndShrinks) {
+  // The planted bug: the adaptive orderer's divergence reaction is disabled
+  // (stats fold but never trigger a mid-stream re-rank), so once observed
+  // cardinalities drift out of band its emissions diverge from the
+  // rebuild-from-observed-stats oracle. The check must fail — and the
+  // shrinker must keep both the drift check and the injection while it
+  // minimizes.
+  Scenario scenario = DriftScenario();
+  scenario.drift_inject_stale = true;
+  Status status = RunScenario(scenario, SimOptions{}, /*report=*/nullptr);
+  ASSERT_FALSE(status.ok())
+      << "stale adaptive statistics went undetected: " << scenario.Summary();
+  EXPECT_NE(std::string(status.message()).find("check=drift"),
+            std::string::npos)
+      << status;
+
+  const ShrinkResult minimized = Shrink(scenario, SimOptions{});
+  EXPECT_FALSE(minimized.failure.empty());
+  EXPECT_TRUE(minimized.scenario.check_drift);
+  EXPECT_TRUE(minimized.scenario.drift_inject_stale);
+  EXPECT_LE(minimized.scenario.drift_sources, scenario.drift_sources);
+  EXPECT_GE(minimized.rounds, 1);
+}
+
 }  // namespace
 }  // namespace planorder::sim

@@ -307,8 +307,8 @@ std::string CheckTitle(CheckId check) {
              "environment) outside src/runtime/clock.* and src/base/rng.h";
     case CheckId::kD2:
       return "unordered container in an ordering/emission/answer path "
-             "(src/core, src/anyk, src/exec, src/sim, src/cluster, "
-             "src/stats coverage/bitmask universes)";
+             "(src/core, src/anyk, src/adaptive, src/exec, src/sim, "
+             "src/cluster, src/stats coverage/bitmask universes)";
     case CheckId::kD3:
       return "floating-point accumulation in a weight fold path (src/anyk); "
              "breaks the dyadic-rational bit-exactness invariant";
@@ -348,8 +348,12 @@ bool CheckAppliesTo(CheckId check, const std::string& relpath) {
     case CheckId::kD2:
       // The coverage/bitmask universes feed utility intervals that decide
       // emission order, so they are ordering paths like src/core proper.
+      // src/adaptive folds observations into blended statistics that re-rank
+      // a live plan stream: hash-order iteration there would surface
+      // directly as emission-order nondeterminism.
       return StartsWith(relpath, "src/core/") ||
              StartsWith(relpath, "src/anyk/") ||
+             StartsWith(relpath, "src/adaptive/") ||
              StartsWith(relpath, "src/exec/") ||
              StartsWith(relpath, "src/sim/") ||
              StartsWith(relpath, "src/cluster/") ||
